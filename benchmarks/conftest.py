@@ -1,0 +1,34 @@
+"""Shared benchmark fixtures and report capture.
+
+Every bench regenerates one of the paper's tables or figures, prints
+the same rows/series the paper reports, and saves a copy under
+``benchmark_reports/`` next to this directory.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.eval.experiments.common import build_fixture
+
+REPORT_DIR = Path(__file__).resolve().parent.parent / "benchmark_reports"
+
+
+@pytest.fixture(scope="session")
+def fixture():
+    """The standard evaluation MDB (~420 signal-sets)."""
+    return build_fixture(mdb_scale=0.3, seed=0)
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    """Callable writing an experiment report to benchmark_reports/."""
+
+    def _save(name: str, text: str) -> None:
+        REPORT_DIR.mkdir(exist_ok=True)
+        (REPORT_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _save

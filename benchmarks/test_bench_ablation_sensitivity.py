@@ -1,0 +1,19 @@
+"""Extension bench: detection sensitivity vs anomaly expression strength."""
+
+from repro.eval.experiments import sensitivity
+
+
+def test_bench_ablation_sensitivity(benchmark, fixture, save_report):
+    result = benchmark.pedantic(
+        sensitivity.run,
+        kwargs={"fixture": fixture, "n_inputs": 3},
+        rounds=1,
+        iterations=1,
+    )
+    save_report("ablation_sensitivity", result.report())
+    # Detection improves (weakly monotonically) with expression strength
+    # and reaches certainty at the class-default amplitude.
+    rates = result.detection_rate
+    assert rates[-1] >= rates[0]
+    assert rates[-1] == 1.0
+    assert result.mean_peak_probability[-1] > 0.8

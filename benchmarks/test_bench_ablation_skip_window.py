@@ -1,0 +1,66 @@
+"""Ablation: the β = αω⁻¹ skip-window interpretation knobs.
+
+DESIGN.md calls out two choices in realising the paper's sub-sample
+formula: the samples-per-unit ``skip_scale`` and the ε ``omega_floor``
+that caps jumps over uncorrelated regions.  This bench sweeps both and
+shows the cost/quality trade-off, justifying the calibrated defaults
+(skip_scale ≈ 135 lands the paper's ~6.8× correlation-count reduction).
+"""
+
+import numpy as np
+
+from repro.cloud.search import ExhaustiveSearch, SearchConfig, SlidingWindowSearch
+from repro.eval.experiments.common import filtered_frame
+from repro.eval.reporting import format_table
+from repro.signals.anomalies import AnomalySpec, make_anomalous_signal
+from repro.signals.generator import EEGGenerator
+from repro.signals.types import AnomalyType
+
+SKIP_SCALES = (50.0, 135.0, 300.0, 600.0)
+OMEGA_FLOORS = (0.02, 0.05, 0.15)
+
+
+def _ablate(fixture):
+    patient = make_anomalous_signal(
+        EEGGenerator(seed=55),
+        160.0,
+        AnomalySpec(kind=AnomalyType.SEIZURE, onset_s=150.0, buildup_s=140.0),
+    )
+    frame = filtered_frame(patient, 154)  # ictal: dense match structure
+    slices = fixture.slices
+    reference = ExhaustiveSearch(SearchConfig(), precompute=True).search(frame, slices)
+    rows = []
+    for scale in SKIP_SCALES:
+        for floor in OMEGA_FLOORS:
+            config = SearchConfig(skip_scale=scale, omega_floor=floor)
+            result = SlidingWindowSearch(config, precompute=True).search(frame, slices)
+            reduction = (
+                reference.correlations_evaluated / result.correlations_evaluated
+            )
+            quality_gap = reference.mean_omega - result.mean_omega
+            rows.append(
+                [scale, floor, result.correlations_evaluated, reduction, quality_gap]
+            )
+    return reference, rows
+
+
+def test_bench_ablation_skip_window(benchmark, fixture, save_report):
+    reference, rows = benchmark.pedantic(
+        lambda: _ablate(fixture), rounds=1, iterations=1
+    )
+    report = format_table(
+        ["skip_scale", "omega_floor", "correlations", "reduction_x", "quality_gap"],
+        rows,
+        precision=3,
+        title="Ablation — skip-window calibration (reference: exhaustive)",
+    )
+    save_report("ablation_skip_window", report)
+    reductions = np.array([row[3] for row in rows])
+    # Larger scales reduce cost but eventually wreck top-set quality —
+    # the trade-off that motivates the calibrated default.
+    assert reductions.max() / reductions.min() > 2.0
+    default_row = next(row for row in rows if row[0] == 135.0 and row[1] == 0.05)
+    assert 4.0 < default_row[3] < 12.0  # the paper's ~6.8x neighbourhood
+    assert default_row[4] < 0.1  # near-exhaustive quality at the default
+    extreme_row = max(rows, key=lambda row: row[0])
+    assert extreme_row[4] >= default_row[4]  # over-aggressive skipping degrades

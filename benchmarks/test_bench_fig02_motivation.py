@@ -1,0 +1,20 @@
+"""Bench: Fig. 2 — anomaly probability vs tracking iteration."""
+
+from repro.eval.experiments import fig2_motivation
+
+
+def test_bench_fig02_motivation(benchmark, fixture, save_report):
+    result = benchmark.pedantic(
+        fig2_motivation.run,
+        kwargs={"fixture": fixture, "n_iterations": 5},
+        rounds=3,
+        iterations=1,
+    )
+    save_report("fig02_motivation", result.report())
+    # Paper's qualitative claim: PA rises as dissimilar signals are
+    # eliminated (0.22 -> 0.66 in the paper's example).
+    assert result.anomaly_probability[-1] > result.anomaly_probability[0]
+    totals = [
+        n + a for n, a in zip(result.normal_tracked, result.anomalous_tracked)
+    ]
+    assert totals[-1] < totals[0]

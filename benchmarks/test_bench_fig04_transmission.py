@@ -1,0 +1,15 @@
+"""Bench: Fig. 4 — upload/download transmission times per platform."""
+
+from repro.eval.experiments import fig4_transmission
+
+
+def test_bench_fig04_transmission(benchmark, save_report):
+    result = benchmark(fig4_transmission.run)
+    save_report("fig04_transmission", result.report())
+    # Paper's feasibility cut-offs: 256 samples under 1 ms and 100
+    # signal-sets under 200 ms on 4G-class links.
+    up_ok = result.platforms_meeting_upload_budget(256)
+    down_ok = result.platforms_meeting_download_budget(100)
+    assert "LTE" in up_ok and "LTE-A" in up_ok
+    assert "LTE" in down_ok
+    assert "HSPA" not in up_ok  # 3G-class links miss the budget

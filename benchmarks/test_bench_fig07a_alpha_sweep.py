@@ -1,0 +1,18 @@
+"""Bench: Fig. 7(a) — step-size (α) sweep of Algorithm 1."""
+
+from repro.eval.experiments import fig7_alpha_sweep
+
+
+def test_bench_fig07a_alpha_sweep(benchmark, fixture, save_report):
+    result = benchmark.pedantic(
+        fig7_alpha_sweep.run_alpha_sweep,
+        kwargs={"fixture": fixture},
+        rounds=1,
+        iterations=1,
+    )
+    save_report("fig07a_alpha_sweep", result.report())
+    # Cost falls monotonically with alpha; top-set quality stays high
+    # around the paper's operating point alpha = 0.004.
+    assert result.correlations_evaluated[0] > result.correlations_evaluated[-1]
+    operating = result.alphas.index(0.004)
+    assert result.mean_top_omega[operating] > 0.8

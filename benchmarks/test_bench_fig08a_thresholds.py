@@ -1,0 +1,17 @@
+"""Bench: Fig. 8(a) — δ vs δ_A threshold equivalence."""
+
+from repro.eval.experiments import fig8_threshold
+
+
+def test_bench_fig08a_thresholds(benchmark, fixture, save_report):
+    result = benchmark.pedantic(
+        fig8_threshold.run_threshold_equivalence,
+        kwargs={"fixture": fixture},
+        rounds=1,
+        iterations=1,
+    )
+    save_report("fig08a_thresholds", result.report())
+    # The paper reads delta_A ~900 off as equivalent to delta = 0.8.
+    equivalent = result.equivalent_area_threshold(0.8)
+    assert 600.0 <= equivalent <= 1200.0
+    assert result.delta_matches == sorted(result.delta_matches, reverse=True)

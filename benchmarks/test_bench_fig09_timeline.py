@@ -1,0 +1,22 @@
+"""Bench: Fig. 9 — closed-loop timing analysis."""
+
+from repro.eval.experiments import fig9_timeline
+
+
+def test_bench_fig09_timeline(benchmark, fixture, save_report):
+    result = benchmark.pedantic(
+        fig9_timeline.run,
+        kwargs={"fixture": fixture, "duration_s": 60.0},
+        rounds=1,
+        iterations=1,
+    )
+    save_report(
+        "fig09_timeline",
+        result.report() + "\n\ntimeline (first events):\n" + "\n".join(result.timeline),
+    )
+    # The paper's real-time envelope: sub-millisecond upload, download
+    # under 200 ms, every tracking iteration inside the 1 s tick.
+    assert result.upload_s < 1e-3
+    assert result.download_s < 0.2
+    assert result.tracking_meets_realtime
+    assert result.initial_latency_s > 0.0

@@ -1,0 +1,29 @@
+"""Bench: Fig. 10 — seizure prediction accuracy per batch and horizon.
+
+The paper runs 5 batches of 20 inputs; the bench default is 2 batches
+of 5 so the suite stays minutes-scale.  A full-scale run
+(``emap fig10 --batches 5 --batch-size 20``) is recorded in
+EXPERIMENTS.md.
+"""
+
+from repro.eval.batches import BatchSpec
+from repro.eval.experiments import fig10_seizure_accuracy
+
+BATCHES = 2
+BATCH_SIZE = 5
+
+
+def test_bench_fig10_seizure_accuracy(benchmark, fixture, save_report):
+    shape = BatchSpec(n_batches=BATCHES, batch_size=BATCH_SIZE)
+    result = benchmark.pedantic(
+        fig10_seizure_accuracy.run,
+        kwargs={"fixture": fixture, "batch_spec": shape, "with_baseline": True},
+        rounds=1,
+        iterations=1,
+    )
+    save_report("fig10_seizure_accuracy", result.report())
+    # Paper: ~94% average, 97% max, baseline ~93%.
+    assert result.overall_accuracy > 0.75
+    assert result.max_accuracy >= result.overall_accuracy
+    assert result.baseline_accuracy is not None
+    assert result.baseline_accuracy > 0.8

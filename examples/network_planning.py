@@ -1,0 +1,42 @@
+"""Network planning: which radio links sustain real-time EMAP?
+
+Reproduces the Fig. 4 analysis as a deployment-planning tool: for each
+communication platform, can one second of EEG go up within 1 ms, and
+can the top-100 correlation set come down within 200 ms?  Also shows
+how the feasible platform set shrinks as the correlation set grows.
+
+Run with::
+
+    python examples/network_planning.py
+"""
+
+from repro.eval.experiments import fig4_transmission
+from repro.network.link import NetworkLink
+from repro.network.platforms import platform_names
+
+
+def main() -> None:
+    result = fig4_transmission.run()
+    print(result.report())
+
+    print("\nreal-time feasibility at the paper's operating point")
+    print(f"{'platform':<18} {'256-sample upload':<20} {'100-set download'}")
+    print("-" * 56)
+    for name in platform_names():
+        link = NetworkLink.for_platform(name)
+        up = "OK" if link.meets_upload_budget(256) else "too slow"
+        down = "OK" if link.meets_download_budget(100) else "too slow"
+        print(f"{name:<18} {up:<20} {down}")
+
+    print("\nmax correlation-set size within the 200 ms download budget:")
+    for name in platform_names():
+        link = NetworkLink.for_platform(name)
+        feasible = 0
+        for n_signals in range(10, 1001, 10):
+            if link.meets_download_budget(n_signals):
+                feasible = n_signals
+        print(f"  {name:<18} {feasible:>4} signals")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""EMAP reproduction: cloud-edge EEG monitoring and anomaly prediction.
+
+Reimplements Prabakaran et al., *EMAP: A Cloud-Edge Hybrid Framework
+for EEG Monitoring and Cross-Correlation Based Real-time Anomaly
+Prediction* (DAC 2020), end to end: synthetic EEG corpora, the
+mega-database, the cloud cross-correlation search (Algorithm 1), the
+edge area-between-curves tracker (Algorithm 2), the network and timing
+models, the five Table I baselines, and a per-figure experiment
+harness.
+
+Quickstart::
+
+    from repro import PipelineConfig, build_pipeline
+    from repro.signals import AnomalyType, EEGGenerator
+    from repro.signals.anomalies import AnomalySpec, make_anomalous_signal
+
+    pipeline = build_pipeline(PipelineConfig(mdb_scale=0.3, with_artifacts=False))
+    patient = make_anomalous_signal(
+        EEGGenerator(seed=7), 160.0,
+        AnomalySpec(kind=AnomalyType.SEIZURE, onset_s=150.0),
+    )
+    session = pipeline.framework.run(patient)
+    print(session.final_prediction, session.pa_series[-5:])
+"""
+
+from repro.config import Pipeline, PipelineConfig, build_pipeline
+from repro.errors import EMAPError
+from repro.version import PAPER, __version__
+
+__all__ = [
+    "EMAPError",
+    "PAPER",
+    "Pipeline",
+    "PipelineConfig",
+    "__version__",
+    "build_pipeline",
+]

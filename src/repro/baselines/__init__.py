@@ -1,0 +1,45 @@
+"""State-of-the-art comparators for Table I.
+
+Five simplified but functional reimplementations of the cited methods,
+each following the core mechanism of its reference at laptop scale:
+
+* :mod:`repro.baselines.hosseini_dl` — [11] Hosseini et al., cloud
+  deep learning: spectral features → multi-layer perceptron.
+* :mod:`repro.baselines.samie_iot` — [13] Samie et al., IoT-grade
+  predictor: cheap time-domain features → logistic regression.
+* :mod:`repro.baselines.burrello_hd` — [7] Burrello et al. (Laelaps):
+  hyperdimensional computing over local-binary-pattern symbols.
+* :mod:`repro.baselines.pascual_selflearn` — [8] Pascual et al.:
+  minimally supervised self-labelling around a small seed set.
+* :mod:`repro.baselines.zhang_xcorr` — [18] Zhang et al.:
+  cross-correlation against class templates + threshold classification.
+
+All share the :class:`~repro.baselines.base.WindowClassifier` interface
+(fit on labelled 256-sample windows, predict per window or per record),
+so Table I can sweep them uniformly.  Per the paper, they are
+seizure-specific: Table I marks them N.A. for encephalopathy and
+stroke.
+"""
+
+from repro.baselines.base import TrainingSet, WindowClassifier, windows_from_signals
+from repro.baselines.burrello_hd import HyperdimensionalClassifier
+from repro.baselines.features import FEATURE_NAMES, extract_features
+from repro.baselines.hosseini_dl import DeepLearningClassifier
+from repro.baselines.mlp import MLP
+from repro.baselines.pascual_selflearn import SelfLearningClassifier
+from repro.baselines.samie_iot import IoTSeizurePredictor
+from repro.baselines.zhang_xcorr import CrossCorrelationClassifier
+
+__all__ = [
+    "CrossCorrelationClassifier",
+    "DeepLearningClassifier",
+    "FEATURE_NAMES",
+    "HyperdimensionalClassifier",
+    "IoTSeizurePredictor",
+    "MLP",
+    "SelfLearningClassifier",
+    "TrainingSet",
+    "WindowClassifier",
+    "extract_features",
+    "windows_from_signals",
+]

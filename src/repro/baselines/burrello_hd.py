@@ -1,0 +1,101 @@
+"""Hyperdimensional seizure detector in the style of Burrello et al. [7].
+
+Laelaps encodes iEEG as local-binary-pattern (LBP) symbols, maps each
+symbol to a random bipolar hypervector, binds symbols over a window by
+permutation + bundling, and classifies by similarity to per-class
+prototype hypervectors.  The reimplementation follows that recipe:
+
+1. 6-bit LBP code per sample (signs of the six preceding first
+   differences),
+2. static item memory of 64 random ±1 hypervectors (D = 2048),
+3. window encoding: position-permuted symbol vectors bundled by
+   majority,
+4. class prototypes: majority bundle of training-window encodings,
+5. prediction: cosine similarity to prototypes, argmax.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EMAPError
+from repro.baselines.base import TrainingSet, WindowClassifier
+
+#: LBP code width in bits (Laelaps uses 6-bit codes).
+LBP_BITS = 6
+
+
+def lbp_codes(window: np.ndarray, bits: int = LBP_BITS) -> np.ndarray:
+    """Per-sample local binary pattern codes.
+
+    Code *i* packs the signs of the ``bits`` consecutive first
+    differences starting at sample *i*.
+    """
+    data = np.asarray(window, dtype=np.float64)
+    if data.ndim != 1 or data.size <= bits:
+        raise EMAPError(
+            f"LBP needs a 1-D window longer than {bits} samples, got {data.shape}"
+        )
+    rises = (np.diff(data) > 0).astype(np.int64)
+    n_codes = rises.size - bits + 1
+    codes = np.zeros(n_codes, dtype=np.int64)
+    for bit in range(bits):
+        codes |= rises[bit : bit + n_codes] << bit
+    return codes
+
+
+class HyperdimensionalClassifier(WindowClassifier):
+    """LBP → hypervector bundling → prototype similarity (Laelaps-style)."""
+
+    def __init__(self, dimension: int = 2048, seed: int = 0) -> None:
+        if dimension < 64:
+            raise EMAPError(f"HD dimension must be >= 64, got {dimension}")
+        self.dimension = dimension
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        # Static item memory: one bipolar hypervector per LBP symbol.
+        self._item_memory = rng.choice(
+            (-1, 1), size=(2**LBP_BITS, dimension)
+        ).astype(np.int8)
+        self._prototypes: dict[int, np.ndarray] = {}
+
+    def encode(self, window: np.ndarray) -> np.ndarray:
+        """Bipolar hypervector for one window.
+
+        Symbol vectors are cyclically shifted by their position (the
+        permutation binding) and bundled by sign of the sum.
+        """
+        codes = lbp_codes(window)
+        accumulator = np.zeros(self.dimension, dtype=np.int64)
+        for position, code in enumerate(codes):
+            accumulator += np.roll(self._item_memory[code], position % 32)
+        encoded = np.sign(accumulator)
+        encoded[encoded == 0] = 1
+        return encoded.astype(np.int8)
+
+    def fit(self, training: TrainingSet) -> "HyperdimensionalClassifier":
+        for value in (0, 1):
+            class_windows = training.windows[training.labels == value]
+            if class_windows.shape[0] == 0:
+                raise EMAPError(f"no training windows with label {value}")
+            bundle = np.zeros(self.dimension, dtype=np.int64)
+            for window in class_windows:
+                bundle += self.encode(window)
+            prototype = np.sign(bundle)
+            prototype[prototype == 0] = 1
+            self._prototypes[value] = prototype.astype(np.int8)
+        return self
+
+    def similarity(self, window: np.ndarray) -> dict[int, float]:
+        """Cosine similarity of the window encoding to each prototype."""
+        if not self._prototypes:
+            raise EMAPError("classifier must be fitted first")
+        encoded = self.encode(window).astype(np.float64)
+        return {
+            value: float(encoded @ prototype) / self.dimension
+            for value, prototype in self._prototypes.items()
+        }
+
+    def predict_window(self, window: np.ndarray) -> bool:
+        scores = self.similarity(window)
+        return scores[1] > scores[0]

@@ -1,0 +1,128 @@
+"""EEG feature extraction shared by the baseline classifiers.
+
+Classic features from the seizure-detection literature, computed per
+256-sample (one-second) window:
+
+* **line length** — Σ|x[i] − x[i−1]|, the workhorse of low-power
+  detectors,
+* **variance** and **RMS**,
+* **zero-crossing rate**,
+* **band powers** in delta/theta/alpha/beta (Welch periodogram),
+* **Hjorth mobility & complexity**,
+* **spectral entropy**.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import signal as sp_signal
+
+from repro.errors import EMAPError
+from repro.signals.generator import EEG_BANDS
+from repro.signals.types import BASE_SAMPLE_RATE_HZ
+
+#: Order of the features returned by :func:`extract_features`.
+FEATURE_NAMES = (
+    "line_length",
+    "variance",
+    "rms",
+    "zero_crossings",
+    "power_delta",
+    "power_theta",
+    "power_alpha",
+    "power_beta",
+    "hjorth_mobility",
+    "hjorth_complexity",
+    "spectral_entropy",
+)
+
+
+def line_length(window: np.ndarray) -> float:
+    """Total variation of the window."""
+    return float(np.abs(np.diff(window)).sum())
+
+
+def zero_crossing_rate(window: np.ndarray) -> float:
+    """Fraction of adjacent sample pairs with a sign change."""
+    signs = np.signbit(window - window.mean())
+    return float(np.count_nonzero(signs[1:] != signs[:-1]) / max(window.size - 1, 1))
+
+
+def hjorth_parameters(window: np.ndarray) -> tuple[float, float]:
+    """(mobility, complexity) — Hjorth's classic activity descriptors."""
+    first = np.diff(window)
+    second = np.diff(first)
+    var0 = float(np.var(window))
+    var1 = float(np.var(first))
+    var2 = float(np.var(second))
+    if var0 <= 0 or var1 <= 0:
+        return 0.0, 0.0
+    mobility = np.sqrt(var1 / var0)
+    complexity = np.sqrt(var2 / var1) / mobility if mobility > 0 else 0.0
+    return float(mobility), float(complexity)
+
+
+def band_powers(
+    window: np.ndarray, sample_rate_hz: float = BASE_SAMPLE_RATE_HZ
+) -> dict[str, float]:
+    """Welch power in each classical EEG band (µV²)."""
+    nperseg = min(window.size, 128)
+    freqs, psd = sp_signal.welch(window, fs=sample_rate_hz, nperseg=nperseg)
+    powers = {}
+    for name, (low, high) in EEG_BANDS.items():
+        mask = (freqs >= low) & (freqs < high)
+        powers[name] = float(np.trapezoid(psd[mask], freqs[mask])) if mask.any() else 0.0
+    return powers
+
+
+def spectral_entropy(
+    window: np.ndarray, sample_rate_hz: float = BASE_SAMPLE_RATE_HZ
+) -> float:
+    """Shannon entropy of the normalised power spectrum (nats)."""
+    nperseg = min(window.size, 128)
+    _, psd = sp_signal.welch(window, fs=sample_rate_hz, nperseg=nperseg)
+    total = psd.sum()
+    if total <= 0:
+        return 0.0
+    probabilities = psd / total
+    positive = probabilities[probabilities > 0]
+    return float(-(positive * np.log(positive)).sum())
+
+
+def extract_features(
+    window: np.ndarray, sample_rate_hz: float = BASE_SAMPLE_RATE_HZ
+) -> np.ndarray:
+    """Full feature vector in :data:`FEATURE_NAMES` order."""
+    data = np.asarray(window, dtype=np.float64)
+    if data.ndim != 1 or data.size < 8:
+        raise EMAPError(
+            f"feature extraction needs a 1-D window of >= 8 samples, "
+            f"got shape {data.shape}"
+        )
+    powers = band_powers(data, sample_rate_hz)
+    mobility, complexity = hjorth_parameters(data)
+    return np.array(
+        [
+            line_length(data),
+            float(np.var(data)),
+            float(np.sqrt(np.mean(data**2))),
+            zero_crossing_rate(data),
+            powers["delta"],
+            powers["theta"],
+            powers["alpha"],
+            powers["beta"],
+            mobility,
+            complexity,
+            spectral_entropy(data, sample_rate_hz),
+        ]
+    )
+
+
+def extract_feature_matrix(
+    windows: np.ndarray, sample_rate_hz: float = BASE_SAMPLE_RATE_HZ
+) -> np.ndarray:
+    """Feature matrix (n_windows × n_features) for stacked windows."""
+    stacked = np.asarray(windows, dtype=np.float64)
+    if stacked.ndim != 2:
+        raise EMAPError(f"expected a 2-D window stack, got shape {stacked.shape}")
+    return np.vstack([extract_features(row, sample_rate_hz) for row in stacked])

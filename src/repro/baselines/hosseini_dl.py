@@ -1,0 +1,48 @@
+"""Cloud deep-learning predictor in the style of Hosseini et al. [11].
+
+The reference streams EEG to the cloud and classifies with a deep
+network over spectral representations.  The reimplementation extracts
+the full spectral/temporal feature vector
+(:mod:`repro.baselines.features`) and trains a two-hidden-layer
+perceptron — scaled to what the synthetic corpora support while keeping
+the pipeline shape (rich features, multi-layer model, cloud-scale
+budget).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import TrainingSet, WindowClassifier
+from repro.baselines.features import extract_feature_matrix, extract_features
+from repro.baselines.mlp import MLP
+from repro.errors import EMAPError
+
+
+class DeepLearningClassifier(WindowClassifier):
+    """Spectral features → two-hidden-layer MLP (Hosseini-style)."""
+
+    def __init__(
+        self,
+        hidden: tuple[int, ...] = (32, 16),
+        epochs: int = 400,
+        threshold: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if not (0.0 < threshold < 1.0):
+            raise EMAPError(f"threshold must be in (0, 1), got {threshold}")
+        self.threshold = threshold
+        self._model = MLP(hidden=hidden, epochs=epochs, seed=seed)
+
+    def fit(self, training: TrainingSet) -> "DeepLearningClassifier":
+        features = extract_feature_matrix(training.windows)
+        self._model.fit(features, training.labels)
+        return self
+
+    def predict_window(self, window: np.ndarray) -> bool:
+        probability = float(self._model.predict_proba(extract_features(window)))
+        return probability >= self.threshold
+
+    def predict_windows(self, windows: np.ndarray) -> np.ndarray:
+        features = extract_feature_matrix(np.asarray(windows, dtype=np.float64))
+        return self._model.predict_proba(features) >= self.threshold

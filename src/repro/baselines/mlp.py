@@ -1,0 +1,128 @@
+"""A small numpy multi-layer perceptron (the "deep" substrate).
+
+Used by the Hosseini-style cloud-DL baseline and the Pascual-style
+self-learning baseline.  One or two hidden tanh layers with a sigmoid
+output, trained by full-batch gradient descent with momentum on binary
+cross-entropy.  Inputs are z-scored with statistics learned at fit
+time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EMAPError
+
+
+class MLP:
+    """Binary classifier: z-score → tanh hidden layers → sigmoid."""
+
+    def __init__(
+        self,
+        hidden: tuple[int, ...] = (16,),
+        learning_rate: float = 0.05,
+        momentum: float = 0.9,
+        epochs: int = 300,
+        l2: float = 1e-4,
+        seed: int = 0,
+    ) -> None:
+        if not hidden or any(size <= 0 for size in hidden):
+            raise EMAPError(f"hidden sizes must be positive, got {hidden}")
+        if learning_rate <= 0:
+            raise EMAPError(f"learning rate must be positive, got {learning_rate}")
+        if epochs <= 0:
+            raise EMAPError(f"epoch count must be positive, got {epochs}")
+        self.hidden = hidden
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self.epochs = epochs
+        self.l2 = l2
+        self.seed = seed
+        self._weights: list[np.ndarray] = []
+        self._biases: list[np.ndarray] = []
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return bool(self._weights)
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "MLP":
+        """Train on (n × d) features and binary labels."""
+        x = np.asarray(features, dtype=np.float64)
+        y = np.asarray(labels, dtype=np.float64)
+        if x.ndim != 2 or y.shape != (x.shape[0],):
+            raise EMAPError(
+                f"need (n, d) features with n labels, got {x.shape} / {y.shape}"
+            )
+        if x.shape[0] < 2:
+            raise EMAPError("need at least two training examples")
+
+        self._mean = x.mean(axis=0)
+        self._std = x.std(axis=0)
+        self._std[self._std == 0] = 1.0
+        z = (x - self._mean) / self._std
+
+        rng = np.random.default_rng(self.seed)
+        sizes = [x.shape[1], *self.hidden, 1]
+        self._weights = [
+            rng.normal(0.0, np.sqrt(2.0 / sizes[i]), size=(sizes[i], sizes[i + 1]))
+            for i in range(len(sizes) - 1)
+        ]
+        self._biases = [np.zeros(sizes[i + 1]) for i in range(len(sizes) - 1)]
+        velocity_w = [np.zeros_like(w) for w in self._weights]
+        velocity_b = [np.zeros_like(b) for b in self._biases]
+
+        n = z.shape[0]
+        target = y.reshape(-1, 1)
+        for _ in range(self.epochs):
+            # Forward pass.
+            activations = [z]
+            for layer, (w, b) in enumerate(zip(self._weights, self._biases)):
+                pre = activations[-1] @ w + b
+                if layer < len(self._weights) - 1:
+                    activations.append(np.tanh(pre))
+                else:
+                    activations.append(1.0 / (1.0 + np.exp(-pre)))
+            # Backward pass (BCE + sigmoid simplifies to (p - y)).
+            delta = (activations[-1] - target) / n
+            for layer in reversed(range(len(self._weights))):
+                grad_w = activations[layer].T @ delta + self.l2 * self._weights[layer]
+                grad_b = delta.sum(axis=0)
+                velocity_w[layer] = (
+                    self.momentum * velocity_w[layer] - self.learning_rate * grad_w
+                )
+                velocity_b[layer] = (
+                    self.momentum * velocity_b[layer] - self.learning_rate * grad_b
+                )
+                self._weights[layer] += velocity_w[layer]
+                self._biases[layer] += velocity_b[layer]
+                if layer > 0:
+                    delta = (delta @ self._weights[layer].T) * (
+                        1.0 - activations[layer] ** 2
+                    )
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """P(anomalous) per row."""
+        if not self.is_fitted:
+            raise EMAPError("MLP must be fitted before predicting")
+        x = np.asarray(features, dtype=np.float64)
+        single = x.ndim == 1
+        if single:
+            x = x.reshape(1, -1)
+        z = (x - self._mean) / self._std
+        out = z
+        for layer, (w, b) in enumerate(zip(self._weights, self._biases)):
+            pre = out @ w + b
+            out = (
+                np.tanh(pre)
+                if layer < len(self._weights) - 1
+                else 1.0 / (1.0 + np.exp(-pre))
+            )
+        probabilities = out.ravel()
+        return probabilities[0] if single else probabilities
+
+    def predict(self, features: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Binary predictions at the given probability threshold."""
+        return np.asarray(self.predict_proba(features) >= threshold)

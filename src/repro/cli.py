@@ -1,0 +1,233 @@
+"""Command-line interface: run any paper experiment from the shell.
+
+::
+
+    emap list
+    emap fig2  [--mdb-scale 0.3] [--seed 0]
+    emap fig4
+    emap fig7a / fig7b
+    emap fig8a / fig8b
+    emap fig9
+    emap fig10  [--batches 2 --batch-size 5]
+    emap fig11  [--inputs 20]
+    emap table1 [--batches 2 --batch-size 5]
+    emap monitor --kind seizure --duration 60
+
+Every experiment prints the same rows/series the paper's corresponding
+table or figure reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.version import PAPER, __version__
+
+_EXPERIMENTS: dict[str, str] = {
+    "fig2": "PA vs tracking iteration (motivational analysis)",
+    "fig4": "transmission times per communication platform",
+    "fig7a": "step-size (alpha) sweep",
+    "fig7b": "search exploration-time scaling, exhaustive vs Algorithm 1",
+    "fig8a": "delta / delta_A threshold equivalence",
+    "fig8b": "edge tracking cost, cross-correlation vs area",
+    "fig9": "closed-loop timing analysis",
+    "fig10": "seizure prediction accuracy per batch and horizon",
+    "fig11": "search quality, Algorithm 1 vs exhaustive",
+    "table1": "prediction accuracy for all anomalies + baselines",
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="emap",
+        description=f"Reproduction harness for: {PAPER}",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the available experiments")
+
+    for name, help_text in _EXPERIMENTS.items():
+        sub = subparsers.add_parser(name, help=help_text)
+        sub.add_argument("--mdb-scale", type=float, default=0.3)
+        sub.add_argument("--seed", type=int, default=0)
+        if name in ("fig10", "table1"):
+            sub.add_argument("--batches", type=int, default=2)
+            sub.add_argument("--batch-size", type=int, default=5)
+            sub.add_argument("--no-baselines", action="store_true")
+        if name == "fig11":
+            sub.add_argument("--inputs", type=int, default=20)
+
+    monitor = subparsers.add_parser(
+        "monitor", help="run one closed-loop monitoring session"
+    )
+    monitor.add_argument(
+        "--kind",
+        choices=["none", "seizure", "encephalopathy", "stroke"],
+        default="seizure",
+    )
+    monitor.add_argument("--duration", type=float, default=60.0)
+    monitor.add_argument("--mdb-scale", type=float, default=0.3)
+    monitor.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _fixture(args):
+    from repro.eval.experiments.common import build_fixture
+
+    return build_fixture(mdb_scale=args.mdb_scale, seed=args.seed)
+
+
+def _cmd_list(_args) -> str:
+    lines = [f"{name:<8} {description}" for name, description in _EXPERIMENTS.items()]
+    return "\n".join(lines)
+
+
+def _cmd_fig2(args) -> str:
+    from repro.eval.experiments import fig2_motivation
+
+    return fig2_motivation.run(_fixture(args)).report()
+
+
+def _cmd_fig4(_args) -> str:
+    from repro.eval.experiments import fig4_transmission
+
+    return fig4_transmission.run().report()
+
+
+def _cmd_fig7a(args) -> str:
+    from repro.eval.experiments import fig7_alpha_sweep
+
+    return fig7_alpha_sweep.run_alpha_sweep(_fixture(args)).report()
+
+
+def _cmd_fig7b(args) -> str:
+    from repro.eval.experiments import fig7_alpha_sweep
+
+    return fig7_alpha_sweep.run_scaling(
+        _fixture(args), db_sizes=(500, 1000, 2000, 4000)
+    ).report()
+
+
+def _cmd_fig8a(args) -> str:
+    from repro.eval.experiments import fig8_threshold
+
+    return fig8_threshold.run_threshold_equivalence(_fixture(args)).report()
+
+
+def _cmd_fig8b(args) -> str:
+    from repro.eval.experiments import fig8_threshold
+
+    return fig8_threshold.run_tracking_cost(_fixture(args)).report()
+
+
+def _cmd_fig9(args) -> str:
+    from repro.eval.experiments import fig9_timeline
+
+    result = fig9_timeline.run(_fixture(args))
+    return result.report() + "\n\ntimeline (first events):\n" + "\n".join(
+        result.timeline[:25]
+    )
+
+
+def _cmd_fig10(args) -> str:
+    from repro.eval.batches import BatchSpec
+    from repro.eval.experiments import fig10_seizure_accuracy
+
+    shape = BatchSpec(n_batches=args.batches, batch_size=args.batch_size)
+    result = fig10_seizure_accuracy.run(
+        _fixture(args),
+        batch_spec=shape,
+        seed=args.seed,
+        with_baseline=not args.no_baselines,
+    )
+    return result.report()
+
+
+def _cmd_fig11(args) -> str:
+    from repro.eval.experiments import fig11_search_quality
+
+    return fig11_search_quality.run(
+        _fixture(args), n_inputs_per_class=args.inputs, seed=args.seed
+    ).report()
+
+
+def _cmd_table1(args) -> str:
+    from repro.eval.batches import BatchSpec
+    from repro.eval.experiments import table1_accuracy
+
+    shape = BatchSpec(n_batches=args.batches, batch_size=args.batch_size)
+    result = table1_accuracy.run(
+        _fixture(args),
+        batch_spec=shape,
+        seed=args.seed,
+        with_baselines=not args.no_baselines,
+    )
+    return result.report()
+
+
+def _cmd_monitor(args) -> str:
+    from repro.config import PipelineConfig, build_pipeline
+    from repro.signals.anomalies import AnomalySpec, make_anomalous_signal
+    from repro.signals.generator import EEGGenerator
+    from repro.signals.types import AnomalyType
+
+    pipeline = build_pipeline(
+        PipelineConfig(mdb_scale=args.mdb_scale, seed=args.seed, with_artifacts=False)
+    )
+    kind = AnomalyType(args.kind)
+    generator = EEGGenerator(seed=args.seed + 1000)
+    if kind.is_anomalous:
+        if kind is AnomalyType.SEIZURE:
+            spec = AnomalySpec(
+                kind=kind,
+                onset_s=0.8 * args.duration,
+                buildup_s=0.7 * args.duration,
+            )
+        else:
+            spec = AnomalySpec(kind=kind)
+        recording = make_anomalous_signal(generator, args.duration, spec)
+    else:
+        recording = generator.record(args.duration)
+    session = pipeline.framework.run(recording)
+    lines = [
+        f"input: {args.kind}, {args.duration:.0f}s "
+        f"(MDB: {len(pipeline.mdb)} signal-sets)",
+        f"iterations: {session.iterations}, cloud calls: {session.cloud_calls}",
+        f"initial latency: {session.initial_latency_s:.2f}s",
+        f"peak anomaly probability: {session.peak_probability:.2f}",
+        f"anomaly predicted: {session.final_prediction}",
+        "PA series (every 5th): "
+        + " ".join(f"{p:.2f}" for p in session.pa_series[::5]),
+    ]
+    return "\n".join(lines)
+
+
+_COMMANDS: dict[str, Callable] = {
+    "list": _cmd_list,
+    "fig2": _cmd_fig2,
+    "fig4": _cmd_fig4,
+    "fig7a": _cmd_fig7a,
+    "fig7b": _cmd_fig7b,
+    "fig8a": _cmd_fig8a,
+    "fig8b": _cmd_fig8b,
+    "fig9": _cmd_fig9,
+    "fig10": _cmd_fig10,
+    "fig11": _cmd_fig11,
+    "table1": _cmd_table1,
+    "monitor": _cmd_monitor,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    output = _COMMANDS[args.command](args)
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

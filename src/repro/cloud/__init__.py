@@ -1,0 +1,37 @@
+"""Cloud Search stage: cross-correlation search over the MDB (§V-B).
+
+* :mod:`repro.cloud.results` — match/result containers and statistics.
+* :mod:`repro.cloud.search` — the search engine with pluggable skip
+  policies: Algorithm 1's exponential sliding window and the
+  exhaustive (β = 1) baseline it is compared against in Figs. 7 & 11.
+* :mod:`repro.cloud.server` — the CloudServer facade used by the
+  closed-loop framework, combining the MDB, a search engine and the
+  timing model.
+"""
+
+from repro.cloud.parallel import ParallelSearch, merge_results, partition_slices
+from repro.cloud.results import SearchMatch, SearchResult
+from repro.cloud.search import (
+    CorrelationSearch,
+    ExhaustiveSearch,
+    ExponentialSkipPolicy,
+    FixedSkipPolicy,
+    SearchConfig,
+    SlidingWindowSearch,
+)
+from repro.cloud.server import CloudServer
+
+__all__ = [
+    "CloudServer",
+    "CorrelationSearch",
+    "ExhaustiveSearch",
+    "ExponentialSkipPolicy",
+    "FixedSkipPolicy",
+    "ParallelSearch",
+    "SearchConfig",
+    "SearchMatch",
+    "SearchResult",
+    "SlidingWindowSearch",
+    "merge_results",
+    "partition_slices",
+]

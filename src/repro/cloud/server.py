@@ -1,0 +1,54 @@
+"""CloudServer: the cloud half of the closed loop.
+
+Materialises the MDB's signal-sets once (the paper keeps the MDB in
+memory-backed MongoDB for the same reason), serves cross-correlation
+search requests, and reports the Eq. 4 timing breakdown for each call
+via the timing model.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SearchError
+from repro.cloud.results import SearchResult
+from repro.cloud.search import SearchConfig, SlidingWindowSearch, CorrelationSearch
+from repro.mdb.mdb import MegaDatabase
+from repro.runtime.timing import TimingBreakdown, TimingModel
+from repro.signals.types import Frame, SignalSlice
+
+import numpy as np
+
+
+class CloudServer:
+    """Serves signal cross-correlation searches over an MDB."""
+
+    def __init__(
+        self,
+        mdb: MegaDatabase | list[SignalSlice],
+        search: CorrelationSearch | None = None,
+        timing: TimingModel | None = None,
+    ) -> None:
+        if isinstance(mdb, MegaDatabase):
+            self._slices = list(mdb.slices())
+        else:
+            self._slices = list(mdb)
+        if not self._slices:
+            raise SearchError("cloud server needs a non-empty signal-set store")
+        self.search_engine = search or SlidingWindowSearch(SearchConfig(), precompute=True)
+        self.timing = timing or TimingModel()
+        self.calls_served = 0
+
+    @property
+    def n_slices(self) -> int:
+        return len(self._slices)
+
+    def handle_frame(self, frame: Frame | np.ndarray) -> tuple[SearchResult, TimingBreakdown]:
+        """Run one search request; returns (T, Eq. 4 breakdown)."""
+        data = frame.data if isinstance(frame, Frame) else np.asarray(frame, dtype=np.float64)
+        result = self.search_engine.search(data, self._slices)
+        breakdown = self.timing.initial_breakdown(
+            frame_samples=data.size,
+            correlations_evaluated=result.correlations_evaluated,
+            n_signals_downloaded=len(result.matches),
+        )
+        self.calls_served += 1
+        return result, breakdown

@@ -1,0 +1,29 @@
+"""Dataset substrate: synthetic stand-ins for the paper's five corpora.
+
+The paper's mega-database combines five open-access EEG corpora
+(PhysioNet [21], TUH EEG [22], UCI/Bonn [23], BNCI Horizon [24],
+Zwoliński [25]).  Those cannot ship offline, so each is replaced by a
+parameterised synthetic corpus with the source's distinguishing
+characteristics — native sampling rate, record length, channel montage
+and anomaly mix — driving the identical ingest path
+(EDF-style records → resample → bandpass → slice → label → MDB).
+"""
+
+from repro.datasets.base import CorpusSpec, SyntheticCorpus
+from repro.datasets.edf import EDFError, read_edf, write_edf
+from repro.datasets.registry import (
+    CorpusRegistry,
+    default_registry,
+    scaled_registry,
+)
+
+__all__ = [
+    "CorpusRegistry",
+    "CorpusSpec",
+    "EDFError",
+    "SyntheticCorpus",
+    "default_registry",
+    "read_edf",
+    "scaled_registry",
+    "write_edf",
+]

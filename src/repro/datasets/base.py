@@ -1,0 +1,176 @@
+"""Synthetic corpus machinery shared by the five dataset stand-ins.
+
+A :class:`CorpusSpec` pins down everything that distinguishes one
+source corpus from another; :class:`SyntheticCorpus` turns a spec into a
+deterministic stream of :class:`~repro.signals.types.Signal` records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.signals.anomalies import AnomalySpec, inject_anomaly
+from repro.signals.artifacts import ArtifactSpec, add_artifacts
+from repro.signals.generator import BackgroundSpec, EEGGenerator
+from repro.signals.types import AnomalyType, Signal
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    """Static description of one synthetic corpus.
+
+    Parameters
+    ----------
+    name:
+        Corpus identifier (used in slice provenance strings).
+    sample_rate_hz:
+        Native sampling rate — deliberately different per corpus so the
+        MDB build exercises the resampling path.
+    n_records:
+        Number of records the corpus yields.
+    record_duration_s:
+        Length of each record.
+    anomaly_mix:
+        Fraction of records per anomaly type; fractions must sum to at
+        most 1, with the remainder normal.
+    annotated_onsets:
+        Whether anomalous records carry a mid-record onset annotation
+        (seizure-style) or are labelled anomalous in their entirety
+        (the paper's encephalopathy/stroke handling).
+    onset_range_s:
+        For annotated records, the uniform range the onset is drawn
+        from (relative to record start).
+    channels:
+        Channel names cycled across records.
+    background_rms_uv:
+        Per-corpus background amplitude (subject/hardware variation).
+    with_artifacts:
+        Whether raw records include ocular/EMG/mains artifacts.
+    """
+
+    name: str
+    sample_rate_hz: float
+    n_records: int
+    record_duration_s: float
+    anomaly_mix: dict[AnomalyType, float] = field(default_factory=dict)
+    annotated_onsets: bool = False
+    onset_range_s: tuple[float, float] = (0.5, 0.9)
+    channels: tuple[str, ...] = ("Fp1", "Fp2", "C3", "C4")
+    background_rms_uv: float = 30.0
+    with_artifacts: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DatasetError("corpus name must be non-empty")
+        if self.sample_rate_hz <= 0:
+            raise DatasetError(
+                f"sample rate must be positive, got {self.sample_rate_hz}"
+            )
+        if self.n_records < 0:
+            raise DatasetError(f"record count must be non-negative, got {self.n_records}")
+        if self.record_duration_s <= 0:
+            raise DatasetError(
+                f"record duration must be positive, got {self.record_duration_s}"
+            )
+        total = sum(self.anomaly_mix.values())
+        if total > 1.0 + 1e-9:
+            raise DatasetError(f"anomaly mix sums to {total}, must be <= 1")
+        for kind, fraction in self.anomaly_mix.items():
+            if not kind.is_anomalous:
+                raise DatasetError(f"anomaly mix contains non-anomalous kind {kind}")
+            if fraction < 0:
+                raise DatasetError(f"anomaly fraction must be non-negative, got {fraction}")
+        if not self.channels:
+            raise DatasetError("corpus needs at least one channel")
+        low, high = self.onset_range_s
+        if not (0.0 <= low <= high <= 1.0):
+            raise DatasetError(
+                f"onset range must satisfy 0 <= low <= high <= 1, got {self.onset_range_s}"
+            )
+
+
+class SyntheticCorpus:
+    """Deterministic record stream for one corpus spec.
+
+    Record labels are assigned by deterministic proportion (not by
+    random draw), so a corpus of 20 records with a 0.5 seizure mix
+    always yields exactly 10 seizure records.
+    """
+
+    def __init__(self, spec: CorpusSpec, seed: int = 0) -> None:
+        self.spec = spec
+        self.seed = seed
+
+    def _label_plan(self) -> list[AnomalyType]:
+        """Per-record labels honouring the mix proportions exactly."""
+        plan: list[AnomalyType] = []
+        for kind, fraction in sorted(
+            self.spec.anomaly_mix.items(), key=lambda item: item[0].value
+        ):
+            plan.extend([kind] * int(round(fraction * self.spec.n_records)))
+        plan = plan[: self.spec.n_records]
+        plan.extend([AnomalyType.NONE] * (self.spec.n_records - len(plan)))
+        # Interleave deterministically so labels don't cluster at the front.
+        rng = np.random.default_rng(self.seed)
+        order = rng.permutation(len(plan))
+        return [plan[i] for i in order]
+
+    def record(self, index: int) -> Signal:
+        """Generate record ``index`` (deterministic per corpus seed)."""
+        if not (0 <= index < self.spec.n_records):
+            raise DatasetError(
+                f"record index {index} outside corpus of {self.spec.n_records} records"
+            )
+        label = self._label_plan()[index]
+        rng_seed = (self.seed, index)
+        background_spec = BackgroundSpec(
+            sample_rate_hz=self.spec.sample_rate_hz,
+            rms_uv=self.spec.background_rms_uv,
+        )
+        generator = EEGGenerator(
+            background_spec, seed=abs(hash(rng_seed)) % (2**32)
+        )
+        data = generator.background(self.spec.record_duration_s)
+        onset_sample: int | None = None
+        label_start_sample: int | None = None
+        anomalous_spans: tuple[tuple[int, int], ...] | None = None
+        if label.is_anomalous:
+            onset_s: float | None = None
+            if self.spec.annotated_onsets:
+                low, high = self.spec.onset_range_s
+                onset_s = self.spec.record_duration_s * generator.rng.uniform(low, high)
+            anomaly = AnomalySpec(kind=label, onset_s=onset_s)
+            injected = inject_anomaly(
+                data, anomaly, self.spec.sample_rate_hz, generator.rng
+            )
+            data = injected.data
+            onset_sample = injected.onset_sample
+            label_start_sample = injected.label_start_sample
+            anomalous_spans = injected.anomalous_spans
+        if self.spec.with_artifacts:
+            data = add_artifacts(
+                data, self.spec.sample_rate_hz, generator.rng, ArtifactSpec()
+            )
+        channel = self.spec.channels[index % len(self.spec.channels)]
+        return Signal(
+            data=data,
+            sample_rate_hz=self.spec.sample_rate_hz,
+            label=label,
+            channel=channel,
+            source=f"{self.spec.name}/rec{index:04d}",
+            onset_sample=onset_sample,
+            label_start_sample=label_start_sample,
+            anomalous_spans=anomalous_spans,
+        )
+
+    def records(self) -> Iterator[Signal]:
+        """Iterate all records in index order."""
+        for index in range(self.spec.n_records):
+            yield self.record(index)
+
+    def __len__(self) -> int:
+        return self.spec.n_records

@@ -1,0 +1,27 @@
+"""BNCI Horizon 2020-style corpus (paper ref [24]).
+
+The BNCI Horizon collection gathers brain-computer-interface recordings
+from healthy subjects, typically at 512 Hz.  Its role in the MDB is to
+supply *normal* waveform diversity, so the stand-in is all-normal at
+512 Hz (exercising the downsampling path) with strong sensorimotor
+rhythms — which is exactly the structure BCI paradigms elicit.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.base import CorpusSpec
+
+
+def bnci_like_spec(n_records: int = 24, record_duration_s: float = 30.0) -> CorpusSpec:
+    """Spec for the BNCI-style corpus (all normal records)."""
+    return CorpusSpec(
+        name="bnci-horizon",
+        sample_rate_hz=512.0,
+        n_records=n_records,
+        record_duration_s=record_duration_s,
+        anomaly_mix={},
+        annotated_onsets=False,
+        channels=("C3", "Cz", "C4"),
+        background_rms_uv=24.0,
+        with_artifacts=True,
+    )

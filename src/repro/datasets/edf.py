@@ -1,0 +1,135 @@
+"""Minimal EDF-style binary container (pyedflib stand-in).
+
+The paper ingests recordings with ``spyedflib``; this module provides a
+compact binary format with the load-bearing EDF properties: a fixed
+header (magic, rate, channel labels, per-channel physical scaling and
+anomaly annotations) followed by contiguous int16 sample records.
+Quantisation to int16 with per-channel gain mirrors real EDF's
+digital/physical mapping, so the ingest path sees realistic ~µV-LSB
+rounding.
+
+Format (little-endian)::
+
+    magic     4s   b"SEDF"
+    version   H    1
+    n_chan    H
+    rate      d    Hz
+    n_samp    Q    samples per channel
+    per channel:
+        label     16s  channel name, NUL padded
+        anomaly   16s  anomaly type name, NUL padded
+        onset     q    onset sample (-1 when absent)
+        gain      d    physical µV per digital unit
+        data      n_samp * h
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import EDFError
+from repro.signals.types import AnomalyType, Signal
+
+_MAGIC = b"SEDF"
+_VERSION = 1
+_HEADER = struct.Struct("<4sHHdQ")
+_CHANNEL_HEADER = struct.Struct("<16s16sqd")
+
+#: int16 digital range used for quantisation.
+_DIGITAL_MAX = 32767
+
+
+def _pack_name(name: str) -> bytes:
+    encoded = name.encode("ascii", errors="replace")[:16]
+    return encoded.ljust(16, b"\x00")
+
+
+def _unpack_name(raw: bytes) -> str:
+    return raw.rstrip(b"\x00").decode("ascii", errors="replace")
+
+
+def write_edf(path: str | Path, signals: list[Signal]) -> Path:
+    """Write one or more equal-rate, equal-length channels to ``path``."""
+    if not signals:
+        raise EDFError("cannot write an EDF file with no channels")
+    rate = signals[0].sample_rate_hz
+    length = len(signals[0])
+    for sig in signals[1:]:
+        if abs(sig.sample_rate_hz - rate) > 1e-9:
+            raise EDFError("all channels must share one sampling rate")
+        if len(sig) != length:
+            raise EDFError("all channels must have equal length")
+
+    destination = Path(path)
+    with destination.open("wb") as handle:
+        handle.write(_HEADER.pack(_MAGIC, _VERSION, len(signals), rate, length))
+        for sig in signals:
+            peak = float(np.max(np.abs(sig.data)))
+            gain = (peak / _DIGITAL_MAX) if peak > 0 else 1.0
+            digital = np.clip(
+                np.round(sig.data / gain), -_DIGITAL_MAX - 1, _DIGITAL_MAX
+            ).astype("<i2")
+            onset = -1 if sig.onset_sample is None else sig.onset_sample
+            handle.write(
+                _CHANNEL_HEADER.pack(
+                    _pack_name(sig.channel),
+                    _pack_name(sig.label.value),
+                    onset,
+                    gain,
+                )
+            )
+            handle.write(digital.tobytes())
+    return destination
+
+
+def read_edf(path: str | Path, source: str | None = None) -> list[Signal]:
+    """Read every channel of an EDF-style file back as Signals."""
+    origin = Path(path)
+    if not origin.exists():
+        raise EDFError(f"no such EDF file: {origin}")
+    blob = origin.read_bytes()
+    if len(blob) < _HEADER.size:
+        raise EDFError(f"{origin}: truncated header")
+    magic, version, n_chan, rate, n_samp = _HEADER.unpack_from(blob, 0)
+    if magic != _MAGIC:
+        raise EDFError(f"{origin}: bad magic {magic!r}")
+    if version != _VERSION:
+        raise EDFError(f"{origin}: unsupported version {version}")
+    if rate <= 0:
+        raise EDFError(f"{origin}: invalid sampling rate {rate}")
+
+    offset = _HEADER.size
+    data_bytes = n_samp * 2
+    signals: list[Signal] = []
+    for channel_index in range(n_chan):
+        if offset + _CHANNEL_HEADER.size + data_bytes > len(blob):
+            raise EDFError(
+                f"{origin}: truncated channel {channel_index} "
+                f"(need {data_bytes} data bytes)"
+            )
+        label_raw, anomaly_raw, onset, gain = _CHANNEL_HEADER.unpack_from(blob, offset)
+        offset += _CHANNEL_HEADER.size
+        digital = np.frombuffer(blob, dtype="<i2", count=n_samp, offset=offset)
+        offset += data_bytes
+        anomaly_name = _unpack_name(anomaly_raw)
+        try:
+            label = AnomalyType(anomaly_name)
+        except ValueError:
+            raise EDFError(
+                f"{origin}: channel {channel_index} has unknown anomaly "
+                f"label {anomaly_name!r}"
+            ) from None
+        signals.append(
+            Signal(
+                data=digital.astype(np.float64) * gain,
+                sample_rate_hz=rate,
+                label=label,
+                channel=_unpack_name(label_raw),
+                source=source or origin.stem,
+                onset_sample=None if onset < 0 else int(onset),
+            )
+        )
+    return signals

@@ -1,0 +1,103 @@
+"""Registry of the five corpus stand-ins (the super-set ``D`` of §V-B).
+
+The paper defines ``D = {D1, ..., DX}`` as the super-set of datasets
+feeding the MDB.  :func:`default_registry` returns all five stand-ins
+at their default sizes; :func:`scaled_registry` scales record counts up
+or down so tests run on small MDBs while benchmarks can build the
+8000-slice databases of Fig. 7(b).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.datasets.base import CorpusSpec, SyntheticCorpus
+from repro.datasets.bnci_like import bnci_like_spec
+from repro.datasets.physionet_like import physionet_like_spec
+from repro.datasets.tuh_like import tuh_like_spec
+from repro.datasets.uci_like import uci_like_spec
+from repro.datasets.zwolinski_like import zwolinski_like_spec
+from repro.errors import DatasetError
+
+#: Factories for the five corpora, keyed by corpus name.
+SPEC_FACTORIES: dict[str, Callable[[], CorpusSpec]] = {
+    "physionet-chb": physionet_like_spec,
+    "tuh-eeg": tuh_like_spec,
+    "uci-bonn": uci_like_spec,
+    "bnci-horizon": bnci_like_spec,
+    "zwolinski": zwolinski_like_spec,
+}
+
+
+class CorpusRegistry:
+    """A named collection of corpora with per-corpus seeds."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._corpora: dict[str, SyntheticCorpus] = {}
+
+    def register(self, spec: CorpusSpec) -> SyntheticCorpus:
+        """Add a corpus; seeds derive from the registry seed and name."""
+        if spec.name in self._corpora:
+            raise DatasetError(f"corpus {spec.name!r} already registered")
+        corpus_seed = self.seed * 1000 + len(self._corpora)
+        corpus = SyntheticCorpus(spec, seed=corpus_seed)
+        self._corpora[spec.name] = corpus
+        return corpus
+
+    def get(self, name: str) -> SyntheticCorpus:
+        try:
+            return self._corpora[name]
+        except KeyError:
+            known = ", ".join(self._corpora) or "(none)"
+            raise DatasetError(
+                f"unknown corpus {name!r}; registered: {known}"
+            ) from None
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._corpora)
+
+    def __iter__(self) -> Iterator[SyntheticCorpus]:
+        return iter(self._corpora.values())
+
+    def __len__(self) -> int:
+        return len(self._corpora)
+
+    def total_records(self) -> int:
+        """Total records across all corpora."""
+        return sum(len(corpus) for corpus in self)
+
+
+def default_registry(seed: int = 0) -> CorpusRegistry:
+    """All five corpora at their default sizes."""
+    registry = CorpusRegistry(seed=seed)
+    for factory in SPEC_FACTORIES.values():
+        registry.register(factory())
+    return registry
+
+
+def scaled_registry(
+    scale: float = 1.0, seed: int = 0, with_artifacts: bool | None = None
+) -> CorpusRegistry:
+    """All five corpora with record counts scaled by ``scale``.
+
+    Each corpus keeps at least one record so every ingest path stays
+    exercised even at tiny scales.  ``with_artifacts`` overrides the
+    per-corpus artifact setting when given (tests use ``False`` for
+    speed and determinism).
+    """
+    if scale <= 0:
+        raise DatasetError(f"scale must be positive, got {scale}")
+    from dataclasses import replace
+
+    registry = CorpusRegistry(seed=seed)
+    for factory in SPEC_FACTORIES.values():
+        spec = factory()
+        updates: dict[str, object] = {
+            "n_records": max(1, int(round(spec.n_records * scale)))
+        }
+        if with_artifacts is not None:
+            updates["with_artifacts"] = with_artifacts
+        registry.register(replace(spec, **updates))
+    return registry

@@ -1,0 +1,32 @@
+"""TUH EEG Corpus-style corpus (paper ref [22]).
+
+The Temple University Hospital EEG Corpus is the largest open clinical
+EEG archive: heterogeneous adult recordings at mostly 250 Hz covering a
+broad pathology mix.  It is the paper's main source of *encephalopathy*
+examples.  The stand-in mirrors: 250 Hz (exercises the 250→256 Hz
+upsampling path), a clinical mix of normal, seizure and encephalopathy
+records, and whole-record anomaly labels (TUH session-level reports).
+"""
+
+from __future__ import annotations
+
+from repro.datasets.base import CorpusSpec
+from repro.signals.types import AnomalyType
+
+
+def tuh_like_spec(n_records: int = 30, record_duration_s: float = 40.0) -> CorpusSpec:
+    """Spec for the TUH-style corpus."""
+    return CorpusSpec(
+        name="tuh-eeg",
+        sample_rate_hz=250.0,
+        n_records=n_records,
+        record_duration_s=record_duration_s,
+        anomaly_mix={
+            AnomalyType.SEIZURE: 0.2,
+            AnomalyType.ENCEPHALOPATHY: 0.3,
+        },
+        annotated_onsets=False,
+        channels=("Fp1", "Fp2", "F7", "F8", "T3", "T4", "O1", "O2"),
+        background_rms_uv=27.0,
+        with_artifacts=True,
+    )

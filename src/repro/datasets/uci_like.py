@@ -1,0 +1,29 @@
+"""UCI / Bonn-style corpus (paper ref [23]).
+
+The UCI Epileptic Seizure Recognition dataset derives from the Bonn
+University recordings: short single-channel segments at the distinctive
+173.61 Hz rate, labelled seizure or non-seizure per segment with no
+onset annotation.  The stand-in mirrors: the odd rate (exercising the
+rational-approximation resampler), short segments, whole-record labels,
+and a 40 % seizure share.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.base import CorpusSpec
+from repro.signals.types import AnomalyType
+
+
+def uci_like_spec(n_records: int = 40, record_duration_s: float = 23.6) -> CorpusSpec:
+    """Spec for the UCI/Bonn-style corpus."""
+    return CorpusSpec(
+        name="uci-bonn",
+        sample_rate_hz=173.61,
+        n_records=n_records,
+        record_duration_s=record_duration_s,
+        anomaly_mix={AnomalyType.SEIZURE: 0.4},
+        annotated_onsets=False,
+        channels=("Cz",),
+        background_rms_uv=34.0,
+        with_artifacts=False,
+    )

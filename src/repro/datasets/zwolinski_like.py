@@ -1,0 +1,32 @@
+"""Zwoliński open epilepsy database-style corpus (paper ref [25]).
+
+The Zwoliński et al. open database pairs epileptic EEG with MRI and
+post-operative assessment; clinically it also contains vascular
+pathology.  In this reproduction it is the corpus that contributes the
+*stroke* examples (the paper notes stroke/encephalopathy data lack onset
+annotation, so whole records are labelled anomalous).  500 Hz native
+rate exercises the 500→256 Hz downsampler.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.base import CorpusSpec
+from repro.signals.types import AnomalyType
+
+
+def zwolinski_like_spec(n_records: int = 30, record_duration_s: float = 40.0) -> CorpusSpec:
+    """Spec for the Zwoliński-style corpus."""
+    return CorpusSpec(
+        name="zwolinski",
+        sample_rate_hz=500.0,
+        n_records=n_records,
+        record_duration_s=record_duration_s,
+        anomaly_mix={
+            AnomalyType.SEIZURE: 0.25,
+            AnomalyType.STROKE: 0.35,
+        },
+        annotated_onsets=False,
+        channels=("F3", "F4", "P3", "P4"),
+        background_rms_uv=31.0,
+        with_artifacts=True,
+    )

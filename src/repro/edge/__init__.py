@@ -1,0 +1,33 @@
+"""Edge stages: signal acquisition (§V-A) and real-time tracking (§V-C).
+
+* :mod:`repro.edge.acquisition` — sampling, streaming bandpass
+  filtering and framing of the patient's EEG.
+* :mod:`repro.edge.tracker` — Algorithm 2: area-between-curves signal
+  tracking over the downloaded correlation set.
+* :mod:`repro.edge.predictor` — anomaly-probability trend analysis and
+  the anomaly / normal decision.
+* :mod:`repro.edge.device` — the edge device facade combining all three
+  with the cloud-call policy.
+"""
+
+from repro.edge.acquisition import SignalAcquisition
+from repro.edge.device import CloudCallPolicy, EdgeDevice
+from repro.edge.energy import EdgeEnergyModel, EnergySpec, SessionEnergy
+from repro.edge.predictor import AnomalyPredictor, PredictorConfig, ProbabilityTrace
+from repro.edge.tracker import SignalTracker, TrackedSignal, TrackerConfig, TrackingStep
+
+__all__ = [
+    "AnomalyPredictor",
+    "CloudCallPolicy",
+    "EdgeDevice",
+    "EdgeEnergyModel",
+    "EnergySpec",
+    "PredictorConfig",
+    "ProbabilityTrace",
+    "SessionEnergy",
+    "SignalAcquisition",
+    "SignalTracker",
+    "TrackedSignal",
+    "TrackerConfig",
+    "TrackingStep",
+]

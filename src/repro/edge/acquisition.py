@@ -1,0 +1,78 @@
+"""Signal Acquisition stage (paper Section V-A).
+
+Wraps a patient recording as a stream of one-second, 256-sample frames:
+each tick samples the next 256 raw samples, pushes them through the
+streaming 100-tap bandpass filter (the delay line persists across
+frames, as a hardware filter's would), and emits the filtered frame
+``B_N`` ready for upload or tracking.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import SignalError
+from repro.signals.filters import FilterSpec, StreamingFIRFilter
+from repro.signals.types import BASE_SAMPLE_RATE_HZ, FRAME_SAMPLES, Frame, Signal
+
+
+class SignalAcquisition:
+    """Turns a recording into a stream of filtered frames."""
+
+    def __init__(
+        self,
+        recording: Signal,
+        frame_samples: int = FRAME_SAMPLES,
+        filter_spec: FilterSpec | None = None,
+    ) -> None:
+        if abs(recording.sample_rate_hz - BASE_SAMPLE_RATE_HZ) > 1e-9:
+            raise SignalError(
+                f"acquisition expects a {BASE_SAMPLE_RATE_HZ:.0f} Hz recording, "
+                f"got {recording.sample_rate_hz} Hz; resample first"
+            )
+        if frame_samples <= 0:
+            raise SignalError(f"frame size must be positive, got {frame_samples}")
+        self.recording = recording
+        self.frame_samples = frame_samples
+        self._filter = StreamingFIRFilter(filter_spec)
+        self._position = 0
+        self._frame_index = 0
+
+    @property
+    def frames_available(self) -> int:
+        """Complete frames remaining in the recording."""
+        return (len(self.recording) - self._position) // self.frame_samples
+
+    @property
+    def frames_emitted(self) -> int:
+        return self._frame_index
+
+    def next_frame(self) -> Frame | None:
+        """Acquire, filter and return the next frame (None at end)."""
+        stop = self._position + self.frame_samples
+        if stop > len(self.recording):
+            return None
+        raw = self.recording.data[self._position : stop]
+        filtered = self._filter.process(raw)
+        frame = Frame(
+            data=filtered,
+            index=self._frame_index,
+            filtered=True,
+            expected_samples=self.frame_samples,
+        )
+        self._position = stop
+        self._frame_index += 1
+        return frame
+
+    def __iter__(self) -> Iterator[Frame]:
+        while True:
+            frame = self.next_frame()
+            if frame is None:
+                return
+            yield frame
+
+    def reset(self) -> None:
+        """Rewind to the start of the recording, clearing filter state."""
+        self._filter.reset()
+        self._position = 0
+        self._frame_index = 0

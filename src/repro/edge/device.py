@@ -1,0 +1,98 @@
+"""The edge device: acquisition + tracking + prediction + call policy.
+
+Combines the three edge-side pieces and decides *when* to transmit a
+frame to the cloud: initially, whenever the tracked set thins below the
+signal tracking threshold ``H`` (Algorithm 2 lines 11–13), and as a
+safety net every ``refresh_interval`` iterations (the paper transmits
+"every five iterations", Section V-C / Fig. 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TrackingError
+from repro.cloud.results import SearchResult
+from repro.edge.acquisition import SignalAcquisition
+from repro.edge.predictor import AnomalyPredictor, PredictorConfig
+from repro.edge.tracker import SignalTracker, TrackerConfig, TrackingStep
+from repro.signals.types import Frame, Signal
+
+
+@dataclass(frozen=True)
+class CloudCallPolicy:
+    """When the edge re-transmits to the cloud.
+
+    ``tracking_threshold`` is the paper's ``H``; ``refresh_interval``
+    the five-iteration refresh of Fig. 9.  Either trigger requests a
+    background cloud call (tracking continues on the old set while the
+    search is in flight).
+    """
+
+    tracking_threshold: int = 20
+    refresh_interval: int = 5
+
+    def __post_init__(self) -> None:
+        if self.tracking_threshold < 0:
+            raise TrackingError(
+                f"tracking threshold must be non-negative, got {self.tracking_threshold}"
+            )
+        if self.refresh_interval < 1:
+            raise TrackingError(
+                f"refresh interval must be >= 1, got {self.refresh_interval}"
+            )
+
+    def should_call(self, tracked_count: int, iterations_since_refresh: int) -> bool:
+        """Whether to transmit the current frame to the cloud."""
+        if tracked_count < self.tracking_threshold:
+            return True
+        return iterations_since_refresh >= self.refresh_interval
+
+
+class EdgeDevice:
+    """Stateful edge node for one monitoring session."""
+
+    def __init__(
+        self,
+        recording: Signal,
+        tracker_config: TrackerConfig | None = None,
+        predictor_config: PredictorConfig | None = None,
+        policy: CloudCallPolicy | None = None,
+    ) -> None:
+        self.acquisition = SignalAcquisition(recording)
+        self.tracker = SignalTracker(tracker_config)
+        self.predictor = AnomalyPredictor(predictor_config)
+        self.policy = policy or CloudCallPolicy()
+        self.iterations_since_refresh = 0
+        self.cloud_calls_requested = 0
+
+    def acquire(self) -> Frame | None:
+        """Sample and filter the next one-second frame."""
+        return self.acquisition.next_frame()
+
+    def adopt_correlation_set(self, result: SearchResult) -> None:
+        """Replace the tracked set with a freshly downloaded ``T``."""
+        self.tracker.load(result)
+        self.iterations_since_refresh = 0
+
+    def track(self, frame: Frame) -> TrackingStep:
+        """One Algorithm 2 iteration + probability observation."""
+        step = self.tracker.step(frame)
+        self.predictor.observe(step.anomaly_probability, support=step.tracked_after)
+        self.iterations_since_refresh += 1
+        return step
+
+    def wants_cloud_call(self) -> bool:
+        """Evaluate the call policy against the current tracked set."""
+        return self.policy.should_call(
+            self.tracker.tracked_count, self.iterations_since_refresh
+        )
+
+    def request_cloud_call(self) -> None:
+        """Mark that a frame was handed to the cloud (for statistics)."""
+        self.cloud_calls_requested += 1
+        self.iterations_since_refresh = 0
+
+    def predict(self) -> bool:
+        """The current anomaly decision."""
+        return self.predictor.predict()

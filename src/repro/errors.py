@@ -1,0 +1,69 @@
+"""Exception hierarchy for the EMAP reproduction package.
+
+Every error raised by this package derives from :class:`EMAPError`, so
+callers can catch one type to handle any library failure.  Subclasses
+are grouped by subsystem (signals, storage, MDB, search, tracking,
+network, framework) to keep error handling precise where it matters.
+"""
+
+from __future__ import annotations
+
+
+class EMAPError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(EMAPError):
+    """A configuration value is missing, malformed, or inconsistent."""
+
+
+class SignalError(EMAPError):
+    """A signal container or signal-processing operation failed."""
+
+
+class FilterError(SignalError):
+    """A filter design or streaming-filter operation failed."""
+
+
+class ResampleError(SignalError):
+    """Resampling a signal to the base frequency failed."""
+
+
+class DatasetError(EMAPError):
+    """A dataset generator or dataset registry operation failed."""
+
+
+class EDFError(DatasetError):
+    """Reading or writing the EDF-style binary container failed."""
+
+
+class StorageError(EMAPError):
+    """The embedded document store rejected an operation."""
+
+
+class QueryError(StorageError):
+    """A document-store filter expression is malformed."""
+
+
+class DuplicateKeyError(StorageError):
+    """An insert would violate a unique-id constraint."""
+
+
+class MDBError(EMAPError):
+    """Building or querying the mega-database failed."""
+
+
+class SearchError(EMAPError):
+    """The cloud cross-correlation search failed."""
+
+
+class TrackingError(EMAPError):
+    """The edge signal-tracking stage failed."""
+
+
+class NetworkError(EMAPError):
+    """A network-model computation failed (unknown platform, bad payload)."""
+
+
+class FrameworkError(EMAPError):
+    """The closed-loop EMAP framework hit an unrecoverable state."""

@@ -1,0 +1,129 @@
+"""Input batch construction for the accuracy experiments.
+
+The paper evaluates each anomaly on "5 batches of 20 input signals
+each" (Section VI-B).  Anomalous inputs are long recordings with a late
+onset so every Fig. 10 prediction horizon (15–120 s) fits inside the
+monitored span; normal inputs measure the false-positive rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import EMAPError
+from repro.signals.anomalies import AnomalySpec, make_anomalous_signal
+from repro.signals.generator import BackgroundSpec, EEGGenerator
+from repro.signals.types import AnomalyType, Signal
+
+#: Paper's evaluation shape: 5 batches × 20 inputs.
+PAPER_BATCHES = 5
+PAPER_BATCH_SIZE = 20
+
+
+@dataclass(frozen=True)
+class BatchSpec:
+    """Shape of the evaluation inputs.
+
+    Seizure inputs get an annotated onset ``onset_s`` into the record
+    with ``buildup_s`` of preictal progression; whole-record anomalies
+    (encephalopathy, stroke) ignore both.
+    """
+
+    n_batches: int = PAPER_BATCHES
+    batch_size: int = PAPER_BATCH_SIZE
+    onset_s: float = 150.0
+    buildup_s: float = 140.0
+    duration_s: float = 160.0
+    whole_record_duration_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.n_batches < 1 or self.batch_size < 1:
+            raise EMAPError("batches and batch size must be >= 1")
+        if not (0 < self.onset_s < self.duration_s):
+            raise EMAPError(
+                f"onset {self.onset_s}s must fall inside the {self.duration_s}s record"
+            )
+        if self.buildup_s <= 0 or self.whole_record_duration_s <= 0:
+            raise EMAPError("durations must be positive")
+
+
+@dataclass
+class InputBatch:
+    """One batch of evaluation inputs (B1 … B5 in the paper)."""
+
+    name: str
+    kind: AnomalyType
+    signals: list[Signal] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.signals)
+
+
+def _input_seed(base_seed: int, kind: AnomalyType, batch: int, index: int) -> int:
+    """Deterministic per-input seed."""
+    kind_offset = {
+        AnomalyType.NONE: 0,
+        AnomalyType.SEIZURE: 1,
+        AnomalyType.ENCEPHALOPATHY: 2,
+        AnomalyType.STROKE: 3,
+    }[kind]
+    return base_seed * 100_000 + kind_offset * 10_000 + batch * 100 + index
+
+
+def make_anomaly_batches(
+    kind: AnomalyType,
+    spec: BatchSpec | None = None,
+    seed: int = 0,
+) -> list[InputBatch]:
+    """The paper's 5×20 anomalous input batches for one disorder."""
+    if not kind.is_anomalous:
+        raise EMAPError("make_anomaly_batches needs an anomalous kind")
+    shape = spec or BatchSpec()
+    annotated = kind is AnomalyType.SEIZURE
+    batches: list[InputBatch] = []
+    for batch_index in range(shape.n_batches):
+        batch = InputBatch(name=f"B{batch_index + 1}", kind=kind)
+        for input_index in range(shape.batch_size):
+            generator = EEGGenerator(
+                BackgroundSpec(),
+                seed=_input_seed(seed, kind, batch_index, input_index),
+            )
+            if annotated:
+                anomaly = AnomalySpec(
+                    kind=kind, onset_s=shape.onset_s, buildup_s=shape.buildup_s
+                )
+                duration = shape.duration_s
+            else:
+                anomaly = AnomalySpec(kind=kind)
+                duration = shape.whole_record_duration_s
+            batch.signals.append(
+                make_anomalous_signal(
+                    generator,
+                    duration,
+                    anomaly,
+                    source=f"eval/{kind.value}/{batch.name}/{input_index}",
+                )
+            )
+        batches.append(batch)
+    return batches
+
+
+def make_normal_batch(
+    n_inputs: int = PAPER_BATCH_SIZE,
+    duration_s: float = 120.0,
+    seed: int = 0,
+) -> InputBatch:
+    """Normal inputs for the false-positive-rate measurement."""
+    if n_inputs < 1:
+        raise EMAPError(f"input count must be >= 1, got {n_inputs}")
+    if duration_s <= 0:
+        raise EMAPError(f"duration must be positive, got {duration_s}")
+    batch = InputBatch(name="normal", kind=AnomalyType.NONE)
+    for index in range(n_inputs):
+        generator = EEGGenerator(
+            BackgroundSpec(), seed=_input_seed(seed, AnomalyType.NONE, 0, index)
+        )
+        batch.signals.append(
+            generator.record(duration_s, source=f"eval/normal/{index}")
+        )
+    return batch

@@ -1,0 +1,14 @@
+"""Per-figure/table experiment modules (see DESIGN.md experiment index).
+
+| module                      | reproduces |
+|-----------------------------|------------|
+| ``fig2_motivation``         | Fig. 2 — PA vs tracking iteration |
+| ``fig4_transmission``       | Fig. 4 — upload/download times per platform |
+| ``fig7_alpha_sweep``        | Fig. 7(a) α sweep, Fig. 7(b) search scaling |
+| ``fig8_threshold``          | Fig. 8(a) δ/δA equivalence, Fig. 8(b) tracking cost |
+| ``fig9_timeline``           | Fig. 9 — closed-loop timing analysis |
+| ``fig10_seizure_accuracy``  | Fig. 10 — per-batch seizure prediction accuracy |
+| ``fig11_search_quality``    | Fig. 11 — Algorithm 1 vs exhaustive search quality |
+| ``table1_accuracy``         | Table I — accuracy per anomaly + baselines |
+| ``sensitivity``             | extension — detection vs expression strength |
+"""

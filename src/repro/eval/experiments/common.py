@@ -1,0 +1,82 @@
+"""Shared plumbing for the experiment modules.
+
+Experiments need the same ingredients over and over: a built MDB (as a
+plain slice list for the search engines), filtered evaluation inputs,
+and the sustained-prediction rule used to score prediction horizons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.registry import scaled_registry
+from repro.errors import EMAPError
+from repro.mdb.builder import MDBBuilder
+from repro.mdb.mdb import MegaDatabase
+from repro.signals.filters import BandpassFilter
+from repro.signals.types import FRAME_SAMPLES, Signal, SignalSlice
+
+
+@dataclass
+class ExperimentFixture:
+    """A built MDB plus the slice list the search engines consume."""
+
+    mdb: MegaDatabase
+    slices: list[SignalSlice]
+
+    @property
+    def n_slices(self) -> int:
+        return len(self.slices)
+
+
+def build_fixture(
+    mdb_scale: float = 0.3,
+    seed: int = 0,
+    with_artifacts: bool = False,
+) -> ExperimentFixture:
+    """Build the evaluation MDB (artifact-free by default, for speed)."""
+    registry = scaled_registry(
+        scale=mdb_scale, seed=seed, with_artifacts=with_artifacts
+    )
+    builder = MDBBuilder()
+    builder.build(registry)
+    mdb = builder.mdb
+    return ExperimentFixture(mdb=mdb, slices=list(mdb.slices()))
+
+
+def filtered_frame(
+    sig: Signal, second: int, frame_samples: int = FRAME_SAMPLES
+) -> np.ndarray:
+    """The bandpass-filtered one-second frame at ``second`` of a recording.
+
+    Filters the whole prefix so the streaming delay line matches what
+    the acquisition stage would emit.
+    """
+    stop = (second + 1) * frame_samples
+    if stop > len(sig.data):
+        raise EMAPError(
+            f"recording of {len(sig.data)} samples has no second #{second}"
+        )
+    filtered = BandpassFilter().apply(sig.data[:stop])
+    return filtered[stop - frame_samples : stop]
+
+
+def sustained_prediction_iteration(
+    predictions: list[bool], run_length: int = 3
+) -> int | None:
+    """First iteration index starting ``run_length`` consecutive positives.
+
+    Scoring rule for the prediction-horizon experiments: a single
+    positive tick is noise; a sustained run is a prediction.  Returns
+    ``None`` when no such run exists.
+    """
+    if run_length < 1:
+        raise EMAPError(f"run length must be >= 1, got {run_length}")
+    count = 0
+    for index, positive in enumerate(predictions):
+        count = count + 1 if positive else 0
+        if count >= run_length:
+            return index - run_length + 1
+    return None

@@ -1,0 +1,90 @@
+"""Fig. 4 — transmission times across communication platforms.
+
+Panel (a): time to upload 20–400 samples, per platform, against the
+1 ms real-time budget (256 samples must fit).  Panel (b): time to
+download 20–400 matched signal-sets against the 200 ms budget (100
+signals must fit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import EMAPError
+from repro.eval.reporting import format_series
+from repro.network.link import DOWNLOAD_BUDGET_S, UPLOAD_BUDGET_S, NetworkLink
+from repro.network.platforms import platform_names
+
+#: Paper's x-axes.
+DEFAULT_SAMPLE_COUNTS = (20, 40, 60, 100, 200, 300, 400)
+DEFAULT_SIGNAL_COUNTS = (20, 40, 60, 100, 200, 300, 400)
+
+
+@dataclass
+class TransmissionResult:
+    """Upload/download time matrices (platform → per-count series)."""
+
+    sample_counts: tuple[int, ...]
+    signal_counts: tuple[int, ...]
+    upload_us: dict[str, list[float]] = field(default_factory=dict)
+    download_ms: dict[str, list[float]] = field(default_factory=dict)
+
+    def platforms_meeting_upload_budget(self, n_samples: int = 256) -> list[str]:
+        """Platforms uploading ``n_samples`` within the 1 ms budget."""
+        return [
+            name
+            for name in self.upload_us
+            if NetworkLink.for_platform(name).meets_upload_budget(n_samples)
+        ]
+
+    def platforms_meeting_download_budget(self, n_signals: int = 100) -> list[str]:
+        """Platforms downloading ``n_signals`` sets within 200 ms."""
+        return [
+            name
+            for name in self.download_ms
+            if NetworkLink.for_platform(name).meets_download_budget(n_signals)
+        ]
+
+    def report(self) -> str:
+        upload = format_series(
+            "samples",
+            list(self.sample_counts),
+            {name: values for name, values in self.upload_us.items()},
+            precision=1,
+            title=(
+                "Fig. 4(a) — upload time [µs] per platform "
+                f"(budget {UPLOAD_BUDGET_S * 1e6:.0f} µs @ 256 samples)"
+            ),
+        )
+        download = format_series(
+            "signals",
+            list(self.signal_counts),
+            {name: values for name, values in self.download_ms.items()},
+            precision=1,
+            title=(
+                "Fig. 4(b) — download time [ms] per platform "
+                f"(budget {DOWNLOAD_BUDGET_S * 1e3:.0f} ms @ 100 signals)"
+            ),
+        )
+        return upload + "\n\n" + download
+
+
+def run(
+    sample_counts: tuple[int, ...] = DEFAULT_SAMPLE_COUNTS,
+    signal_counts: tuple[int, ...] = DEFAULT_SIGNAL_COUNTS,
+) -> TransmissionResult:
+    """Evaluate both panels analytically for every platform."""
+    if not sample_counts or not signal_counts:
+        raise EMAPError("need at least one sample count and one signal count")
+    result = TransmissionResult(
+        sample_counts=tuple(sample_counts), signal_counts=tuple(signal_counts)
+    )
+    for name in platform_names():
+        link = NetworkLink.for_platform(name)
+        result.upload_us[name] = [
+            link.frame_upload_time_s(count) * 1e6 for count in sample_counts
+        ]
+        result.download_ms[name] = [
+            link.signal_set_download_time_s(count) * 1e3 for count in signal_counts
+        ]
+    return result

@@ -1,0 +1,175 @@
+"""Fig. 7 — step-size sweep and search-time scaling.
+
+Panel (a): sweep the step-size α and report exploration time, number of
+candidate matches, and the average cross-correlation of the top-100 —
+the paper picks α = 0.004 where the top-100 quality saturates.
+
+Panel (b): exploration time of exhaustive search vs Algorithm 1 as the
+number of signal-sets searched grows; the paper reports ~6.8× average
+reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cloud.search import (
+    ExhaustiveSearch,
+    SearchConfig,
+    SlidingWindowSearch,
+)
+from repro.errors import EMAPError
+from repro.eval.experiments.common import (
+    ExperimentFixture,
+    build_fixture,
+    filtered_frame,
+)
+from repro.eval.reporting import format_series
+from repro.signals.anomalies import AnomalySpec, make_anomalous_signal
+from repro.signals.generator import EEGGenerator
+from repro.signals.types import AnomalyType, Signal, SignalSlice
+
+#: Paper's α axis (Fig. 7a).
+DEFAULT_ALPHAS = (0.0008, 0.001, 0.002, 0.004, 0.007, 0.01, 0.015)
+
+#: Paper's database-size axis (Fig. 7b).
+DEFAULT_DB_SIZES = (1000, 2000, 4000, 8000)
+
+
+def _default_input(seed: int = 11) -> Signal:
+    """A late-preictal seizure input (plenty of matches at δ = 0.8)."""
+    spec = AnomalySpec(kind=AnomalyType.SEIZURE, onset_s=150.0, buildup_s=140.0)
+    return make_anomalous_signal(
+        EEGGenerator(seed=seed), 160.0, spec, source="fig7/input"
+    )
+
+
+@dataclass
+class AlphaSweepResult:
+    """Fig. 7(a): per-α search statistics."""
+
+    alphas: list[float] = field(default_factory=list)
+    exploration_time_ms: list[float] = field(default_factory=list)
+    matches: list[int] = field(default_factory=list)
+    mean_top_omega: list[float] = field(default_factory=list)
+    correlations_evaluated: list[int] = field(default_factory=list)
+
+    def report(self) -> str:
+        return format_series(
+            "alpha",
+            self.alphas,
+            {
+                "expl_time_ms": self.exploration_time_ms,
+                "matches": self.matches,
+                "avg_top100_omega": self.mean_top_omega,
+                "correlations": self.correlations_evaluated,
+            },
+            precision=4,
+            title="Fig. 7(a) — step-size sweep",
+        )
+
+
+def run_alpha_sweep(
+    fixture: ExperimentFixture | None = None,
+    alphas: tuple[float, ...] = DEFAULT_ALPHAS,
+    input_seed: int = 11,
+    frame_second: int = 120,
+) -> AlphaSweepResult:
+    """Sweep α over a fixed MDB and input frame."""
+    if not alphas:
+        raise EMAPError("need at least one alpha value")
+    fix = fixture or build_fixture()
+    frame = filtered_frame(_default_input(input_seed), frame_second)
+    result = AlphaSweepResult()
+    for alpha in alphas:
+        engine = SlidingWindowSearch(SearchConfig(alpha=alpha))
+        search = engine.search(frame, fix.slices)
+        result.alphas.append(alpha)
+        result.exploration_time_ms.append(search.elapsed_s * 1e3)
+        result.matches.append(search.candidates_above_threshold)
+        result.mean_top_omega.append(search.mean_omega)
+        result.correlations_evaluated.append(search.correlations_evaluated)
+    return result
+
+
+@dataclass
+class ScalingResult:
+    """Fig. 7(b): exhaustive vs Algorithm 1 exploration time."""
+
+    db_sizes: list[int] = field(default_factory=list)
+    exhaustive_time_s: list[float] = field(default_factory=list)
+    algorithm1_time_s: list[float] = field(default_factory=list)
+    exhaustive_correlations: list[int] = field(default_factory=list)
+    algorithm1_correlations: list[int] = field(default_factory=list)
+
+    @property
+    def mean_speedup(self) -> float:
+        """Average wall-clock reduction (paper: ~6.8×)."""
+        ratios = [
+            exhaustive / algorithm
+            for exhaustive, algorithm in zip(
+                self.exhaustive_time_s, self.algorithm1_time_s
+            )
+            if algorithm > 0
+        ]
+        if not ratios:
+            raise EMAPError("no scaling points recorded")
+        return float(np.mean(ratios))
+
+    @property
+    def mean_correlation_reduction(self) -> float:
+        """Average reduction in correlations evaluated (the algorithmic win)."""
+        ratios = [
+            exhaustive / algorithm
+            for exhaustive, algorithm in zip(
+                self.exhaustive_correlations, self.algorithm1_correlations
+            )
+            if algorithm > 0
+        ]
+        if not ratios:
+            raise EMAPError("no scaling points recorded")
+        return float(np.mean(ratios))
+
+    def report(self) -> str:
+        body = format_series(
+            "signal_sets",
+            self.db_sizes,
+            {
+                "exhaustive_s": self.exhaustive_time_s,
+                "algorithm1_s": self.algorithm1_time_s,
+            },
+            title="Fig. 7(b) — exploration time vs database size",
+        )
+        return (
+            body
+            + f"\nmean wall-clock speedup: {self.mean_speedup:.1f}x"
+            + f"\nmean correlation-count reduction: "
+            + f"{self.mean_correlation_reduction:.1f}x (paper: ~6.8x)"
+        )
+
+
+def run_scaling(
+    fixture: ExperimentFixture | None = None,
+    db_sizes: tuple[int, ...] = DEFAULT_DB_SIZES,
+    input_seed: int = 11,
+    frame_second: int = 120,
+    subset_seed: int = 5,
+) -> ScalingResult:
+    """Time both engines over growing signal-set subsets."""
+    if not db_sizes:
+        raise EMAPError("need at least one database size")
+    fix = fixture or build_fixture()
+    frame = filtered_frame(_default_input(input_seed), frame_second)
+    result = ScalingResult()
+    for size in db_sizes:
+        subset: list[SignalSlice] = fix.mdb.subset(size, seed=subset_seed)
+        exhaustive = ExhaustiveSearch(SearchConfig()).search(frame, subset)
+        algorithm1 = SlidingWindowSearch(SearchConfig()).search(frame, subset)
+        result.db_sizes.append(size)
+        result.exhaustive_time_s.append(exhaustive.elapsed_s)
+        result.algorithm1_time_s.append(algorithm1.elapsed_s)
+        result.exhaustive_correlations.append(exhaustive.correlations_evaluated)
+        result.algorithm1_correlations.append(algorithm1.correlations_evaluated)
+    return result

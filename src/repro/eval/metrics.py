@@ -1,0 +1,77 @@
+"""Binary classification metrics for the prediction experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import EMAPError
+
+
+@dataclass
+class BinaryConfusion:
+    """Confusion counts for anomalous (positive) vs normal (negative)."""
+
+    true_positive: int = 0
+    false_positive: int = 0
+    true_negative: int = 0
+    false_negative: int = 0
+
+    def add(self, actual: bool, predicted: bool) -> None:
+        """Record one (ground truth, prediction) pair."""
+        if actual and predicted:
+            self.true_positive += 1
+        elif actual and not predicted:
+            self.false_negative += 1
+        elif not actual and predicted:
+            self.false_positive += 1
+        else:
+            self.true_negative += 1
+
+    @property
+    def total(self) -> int:
+        return (
+            self.true_positive
+            + self.false_positive
+            + self.true_negative
+            + self.false_negative
+        )
+
+    @property
+    def accuracy(self) -> float:
+        if self.total == 0:
+            raise EMAPError("no observations recorded")
+        return (self.true_positive + self.true_negative) / self.total
+
+    @property
+    def sensitivity(self) -> float:
+        """True-positive rate (the paper maximises this)."""
+        positives = self.true_positive + self.false_negative
+        if positives == 0:
+            raise EMAPError("no positive observations recorded")
+        return self.true_positive / positives
+
+    @property
+    def specificity(self) -> float:
+        """True-negative rate."""
+        negatives = self.true_negative + self.false_positive
+        if negatives == 0:
+            raise EMAPError("no negative observations recorded")
+        return self.true_negative / negatives
+
+    @property
+    def false_positive_rate(self) -> float:
+        """The paper reports ~15 % false positives as EMAP's limitation."""
+        return 1.0 - self.specificity
+
+
+def accuracy_score(actual: Sequence[bool], predicted: Sequence[bool]) -> float:
+    """Plain accuracy over paired boolean sequences."""
+    if len(actual) != len(predicted):
+        raise EMAPError(
+            f"length mismatch: {len(actual)} actuals vs {len(predicted)} predictions"
+        )
+    if not actual:
+        raise EMAPError("cannot score empty sequences")
+    agree = sum(1 for a, p in zip(actual, predicted) if a == p)
+    return agree / len(actual)

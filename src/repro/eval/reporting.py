@@ -1,0 +1,72 @@
+"""Plain-text rendering of experiment tables and series.
+
+The benchmark harness prints the same rows and series the paper's
+tables and figures report; these helpers keep the formatting uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.errors import EMAPError
+
+
+def _format_cell(value: Any, precision: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    precision: int = 3,
+    title: str | None = None,
+) -> str:
+    """Render an aligned text table."""
+    if not headers:
+        raise EMAPError("table needs at least one column")
+    rendered = [[_format_cell(cell, precision) for cell in row] for row in rows]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise EMAPError(
+                f"row with {len(row)} cells does not match {len(headers)} headers"
+            )
+    widths = [
+        max(len(str(headers[col])), *(len(row[col]) for row in rendered))
+        if rendered
+        else len(str(headers[col]))
+        for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[Any],
+    series: dict[str, Sequence[Any]],
+    precision: int = 3,
+    title: str | None = None,
+) -> str:
+    """Render one or more y-series against a shared x-axis."""
+    headers = [x_label, *series.keys()]
+    length = len(x_values)
+    for name, values in series.items():
+        if len(values) != length:
+            raise EMAPError(
+                f"series {name!r} has {len(values)} points, expected {length}"
+            )
+    rows = [
+        [x_values[i], *(values[i] for values in series.values())]
+        for i in range(length)
+    ]
+    return format_table(headers, rows, precision=precision, title=title)

@@ -1,0 +1,62 @@
+"""Document schema for mega-database signal-sets.
+
+Each MDB document stores one :class:`~repro.signals.types.SignalSlice`:
+
+.. code-block:: python
+
+    {
+        "_id": ObjectId,
+        "slice_id": "physionet-chb/rec0003/Fp2/1",
+        "label": "seizure",          # AnomalyType value
+        "anomalous": 1,              # A(S), denormalised for queries
+        "dataset": "physionet-chb",
+        "source": "physionet-chb/rec0003",
+        "channel": "Fp2",
+        "start_sample": 1000,
+        "samples": np.ndarray,       # 1000 float64 µV samples
+    }
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.errors import MDBError
+from repro.signals.types import AnomalyType, SignalSlice
+
+#: Name of the document-store collection holding signal-sets.
+SLICE_COLLECTION = "signal_sets"
+
+
+def slice_to_document(
+    sig_slice: SignalSlice, dataset: str, channel: str
+) -> dict[str, Any]:
+    """Convert a signal-set into its MDB document."""
+    return {
+        "slice_id": sig_slice.slice_id,
+        "label": sig_slice.label.value,
+        "anomalous": sig_slice.attribute,
+        "dataset": dataset,
+        "source": sig_slice.source,
+        "channel": channel,
+        "start_sample": sig_slice.start_sample,
+        "samples": np.asarray(sig_slice.data, dtype=np.float64),
+    }
+
+
+def slice_from_document(document: Mapping[str, Any]) -> SignalSlice:
+    """Reconstruct a signal-set from its MDB document."""
+    try:
+        label = AnomalyType(document["label"])
+        samples = np.asarray(document["samples"], dtype=np.float64)
+        return SignalSlice(
+            data=samples,
+            label=label,
+            source=str(document["source"]),
+            start_sample=int(document["start_sample"]),
+            slice_id=str(document["slice_id"]),
+        )
+    except (KeyError, ValueError, TypeError) as error:
+        raise MDBError(f"malformed signal-set document: {error}") from error

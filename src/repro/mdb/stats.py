@@ -1,0 +1,96 @@
+"""Mega-database composition statistics and reporting.
+
+Operating EMAP requires knowing what the MDB actually holds: the
+per-dataset and per-label composition, amplitude statistics (the area
+threshold's meaning depends on them), and slice-length uniformity.
+:func:`describe` computes the full profile; :func:`composition_report`
+renders it as text for logs and notebooks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import MDBError
+from repro.eval.reporting import format_table
+from repro.mdb.mdb import MegaDatabase
+
+
+@dataclass
+class MDBProfile:
+    """Aggregate statistics of one mega-database."""
+
+    total_slices: int = 0
+    label_counts: dict[str, int] = field(default_factory=dict)
+    dataset_counts: dict[str, int] = field(default_factory=dict)
+    dataset_anomalous: dict[str, int] = field(default_factory=dict)
+    slice_lengths: set[int] = field(default_factory=set)
+    mean_rms_uv: float = 0.0
+    rms_spread_uv: float = 0.0
+
+    @property
+    def anomalous_fraction(self) -> float:
+        anomalous = sum(
+            count for label, count in self.label_counts.items() if label != "none"
+        )
+        if self.total_slices == 0:
+            raise MDBError("profile is empty")
+        return anomalous / self.total_slices
+
+    @property
+    def is_length_uniform(self) -> bool:
+        """Whether every slice has the same sample count (it must)."""
+        return len(self.slice_lengths) == 1
+
+
+def describe(mdb: MegaDatabase) -> MDBProfile:
+    """Profile an MDB in one pass over its slices."""
+    profile = MDBProfile()
+    rms_values: list[float] = []
+    for sig_slice in mdb.slices():
+        profile.total_slices += 1
+        label = sig_slice.label.value
+        profile.label_counts[label] = profile.label_counts.get(label, 0) + 1
+        dataset = sig_slice.source.split("/", 1)[0]
+        profile.dataset_counts[dataset] = profile.dataset_counts.get(dataset, 0) + 1
+        if sig_slice.label.is_anomalous:
+            profile.dataset_anomalous[dataset] = (
+                profile.dataset_anomalous.get(dataset, 0) + 1
+            )
+        profile.slice_lengths.add(len(sig_slice))
+        centered = sig_slice.data - sig_slice.data.mean()
+        rms_values.append(float(np.sqrt(np.mean(centered**2))))
+    if profile.total_slices == 0:
+        raise MDBError("cannot profile an empty mega-database")
+    profile.mean_rms_uv = float(np.mean(rms_values))
+    profile.rms_spread_uv = float(np.std(rms_values))
+    return profile
+
+
+def composition_report(profile: MDBProfile) -> str:
+    """Render a profile as an aligned text report."""
+    rows = []
+    for dataset in sorted(profile.dataset_counts):
+        total = profile.dataset_counts[dataset]
+        anomalous = profile.dataset_anomalous.get(dataset, 0)
+        rows.append(
+            [dataset, total, anomalous, anomalous / total if total else 0.0]
+        )
+    table = format_table(
+        ["dataset", "slices", "anomalous", "anomalous_frac"],
+        rows,
+        precision=2,
+        title="Mega-database composition",
+    )
+    labels = ", ".join(
+        f"{label}={count}" for label, count in sorted(profile.label_counts.items())
+    )
+    footer = (
+        f"\ntotal: {profile.total_slices} slices ({labels})"
+        f"\nanomalous fraction: {profile.anomalous_fraction:.2f}"
+        f"\nslice RMS: {profile.mean_rms_uv:.1f} ± {profile.rms_spread_uv:.1f} µV"
+        f"\nuniform slice length: {profile.is_length_uniform}"
+    )
+    return table + footer

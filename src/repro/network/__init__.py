@@ -1,0 +1,31 @@
+"""Network substrate: analytic link models for the six platforms of Fig. 4.
+
+The paper's transmission-time figures are adapted from published
+nominal rates for HSPA, HSPA+, LTE, LTE-A and WiMax releases 1/2
+(refs [19], [20]).  This subpackage reproduces them analytically:
+``time = setup_latency + payload_bits / rate``.
+"""
+
+from repro.network.link import NetworkLink
+from repro.network.payload import (
+    SAMPLE_BITS,
+    frame_payload_bits,
+    signal_set_payload_bits,
+)
+from repro.network.platforms import (
+    PLATFORMS,
+    CommunicationPlatform,
+    get_platform,
+    platform_names,
+)
+
+__all__ = [
+    "CommunicationPlatform",
+    "NetworkLink",
+    "PLATFORMS",
+    "SAMPLE_BITS",
+    "frame_payload_bits",
+    "get_platform",
+    "platform_names",
+    "signal_set_payload_bits",
+]

@@ -1,0 +1,64 @@
+"""Transmission-time model over one communication platform.
+
+Reproduces Fig. 4's two panels and the paper's real-time feasibility
+constraints: ΔEC (one-second frame upload) must stay under 1 ms and
+ΔCE (top-100 download) under 200 ms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import NetworkError
+from repro.network.payload import frame_payload_bits, signal_set_payload_bits
+from repro.network.platforms import CommunicationPlatform, get_platform
+
+#: The paper's real-time upload budget for one frame (Fig. 4a).
+UPLOAD_BUDGET_S = 1e-3
+
+#: The paper's real-time download budget for the top-100 set (Fig. 4b).
+DOWNLOAD_BUDGET_S = 0.2
+
+
+@dataclass(frozen=True)
+class NetworkLink:
+    """A point-to-point edge-cloud link over one platform."""
+
+    platform: CommunicationPlatform
+
+    @classmethod
+    def for_platform(cls, name: str) -> "NetworkLink":
+        """Construct a link from a platform name."""
+        return cls(get_platform(name))
+
+    def upload_time_s(self, payload_bits: int) -> float:
+        """Time to push ``payload_bits`` up to the cloud."""
+        if payload_bits <= 0:
+            raise NetworkError(f"payload must be positive, got {payload_bits}")
+        rate = self.platform.uplink_mbps * 1e6
+        return self.platform.setup_latency_s + payload_bits / rate
+
+    def download_time_s(self, payload_bits: int) -> float:
+        """Time to pull ``payload_bits`` down from the cloud."""
+        if payload_bits <= 0:
+            raise NetworkError(f"payload must be positive, got {payload_bits}")
+        rate = self.platform.downlink_mbps * 1e6
+        return self.platform.setup_latency_s + payload_bits / rate
+
+    def frame_upload_time_s(self, n_samples: int) -> float:
+        """ΔEC: upload time for an ``n_samples`` frame."""
+        return self.upload_time_s(frame_payload_bits(n_samples))
+
+    def signal_set_download_time_s(self, n_signals: int) -> float:
+        """ΔCE: download time for ``n_signals`` matched signal-sets."""
+        return self.download_time_s(signal_set_payload_bits(n_signals))
+
+    def meets_upload_budget(self, n_samples: int, budget_s: float = UPLOAD_BUDGET_S) -> bool:
+        """Whether a frame upload fits the paper's 1 ms budget."""
+        return self.frame_upload_time_s(n_samples) <= budget_s
+
+    def meets_download_budget(
+        self, n_signals: int, budget_s: float = DOWNLOAD_BUDGET_S
+    ) -> bool:
+        """Whether a set download fits the paper's 200 ms budget."""
+        return self.signal_set_download_time_s(n_signals) <= budget_s

@@ -1,0 +1,44 @@
+"""Payload sizing for uploads and downloads.
+
+The edge samples at 16-bit resolution (Section V-A), so an upload of
+``n`` samples is ``16 n`` bits plus a small framing header.  A
+downloaded signal correlation set carries, per entry, the 1000-sample
+slice plus its match metadata (ω, β, label, id).
+"""
+
+from __future__ import annotations
+
+from repro.errors import NetworkError
+from repro.signals.types import SLICE_SAMPLES
+
+#: Bits per EEG sample (paper: 16-bit resolution).
+SAMPLE_BITS = 16
+
+#: Fixed per-message framing overhead (transport headers), in bits.
+MESSAGE_OVERHEAD_BITS = 512
+
+#: Per-signal match metadata in a download (ω, β, label, id), in bits.
+SIGNAL_METADATA_BITS = 192
+
+
+def frame_payload_bits(n_samples: int, sample_bits: int = SAMPLE_BITS) -> int:
+    """Size of an upload of ``n_samples`` samples."""
+    if n_samples <= 0:
+        raise NetworkError(f"sample count must be positive, got {n_samples}")
+    if sample_bits <= 0:
+        raise NetworkError(f"sample width must be positive, got {sample_bits}")
+    return n_samples * sample_bits + MESSAGE_OVERHEAD_BITS
+
+
+def signal_set_payload_bits(
+    n_signals: int,
+    slice_samples: int = SLICE_SAMPLES,
+    sample_bits: int = SAMPLE_BITS,
+) -> int:
+    """Size of a download of ``n_signals`` matched signal-sets."""
+    if n_signals <= 0:
+        raise NetworkError(f"signal count must be positive, got {n_signals}")
+    if slice_samples <= 0:
+        raise NetworkError(f"slice size must be positive, got {slice_samples}")
+    per_signal = slice_samples * sample_bits + SIGNAL_METADATA_BITS
+    return n_signals * per_signal + MESSAGE_OVERHEAD_BITS

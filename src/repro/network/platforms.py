@@ -1,0 +1,65 @@
+"""The six communication platforms compared in Fig. 4.
+
+Rates are nominal effective throughputs adapted from the surveys the
+paper cites ([19] Steer, "Beyond 3G"; [20] Parkvall et al.,
+"LTE-Advanced").  Absolute values matter less than ordering and the
+feasibility cut-offs the paper draws: 256 samples must upload in under
+1 ms and 100 signal-sets must download in under 200 ms on 4G-class
+links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import NetworkError
+
+
+@dataclass(frozen=True)
+class CommunicationPlatform:
+    """One radio platform's effective link characteristics."""
+
+    name: str
+    uplink_mbps: float
+    downlink_mbps: float
+    setup_latency_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.uplink_mbps <= 0 or self.downlink_mbps <= 0:
+            raise NetworkError(
+                f"{self.name}: link rates must be positive, got "
+                f"up={self.uplink_mbps}, down={self.downlink_mbps}"
+            )
+        if self.setup_latency_s < 0:
+            raise NetworkError(
+                f"{self.name}: setup latency must be non-negative, "
+                f"got {self.setup_latency_s}"
+            )
+
+
+#: The platforms of Fig. 4, slowest to fastest uplink.
+PLATFORMS: dict[str, CommunicationPlatform] = {
+    platform.name: platform
+    for platform in (
+        CommunicationPlatform("HSPA", uplink_mbps=2.3, downlink_mbps=7.2),
+        CommunicationPlatform("HSPA+", uplink_mbps=5.8, downlink_mbps=21.0),
+        CommunicationPlatform("WiMax Release 1", uplink_mbps=10.0, downlink_mbps=23.0),
+        CommunicationPlatform("LTE", uplink_mbps=25.0, downlink_mbps=75.0),
+        CommunicationPlatform("WiMax Release 2", uplink_mbps=60.0, downlink_mbps=140.0),
+        CommunicationPlatform("LTE-A", uplink_mbps=250.0, downlink_mbps=600.0),
+    )
+}
+
+
+def platform_names() -> tuple[str, ...]:
+    """Platform names in registration (slowest-uplink-first) order."""
+    return tuple(PLATFORMS)
+
+
+def get_platform(name: str) -> CommunicationPlatform:
+    """Look up a platform by name."""
+    try:
+        return PLATFORMS[name]
+    except KeyError:
+        known = ", ".join(PLATFORMS)
+        raise NetworkError(f"unknown platform {name!r}; known: {known}") from None

@@ -1,0 +1,32 @@
+"""Runtime: simulated time, event tracing, and the closed-loop framework.
+
+* :mod:`repro.runtime.clock` — the simulation clock (1 s ticks, Fig. 9).
+* :mod:`repro.runtime.events` — the event log behind the Fig. 9
+  timeline.
+* :mod:`repro.runtime.timing` — Eq. 4's Δinitial decomposition and the
+  calibrated device cost model.
+* :mod:`repro.runtime.framework` — :class:`EMAPFramework`, the
+  acquisition → cloud search → edge tracking loop.
+"""
+
+from repro.runtime.clock import SimulationClock
+from repro.runtime.events import Event, EventKind, EventLog
+from repro.runtime.framework import EMAPFramework, FrameworkConfig, MonitoringResult
+from repro.runtime.streaming import MonitorUpdate, StreamingConfig, StreamingMonitor
+from repro.runtime.timing import DeviceCostModel, TimingBreakdown, TimingModel
+
+__all__ = [
+    "DeviceCostModel",
+    "EMAPFramework",
+    "Event",
+    "EventKind",
+    "EventLog",
+    "FrameworkConfig",
+    "MonitorUpdate",
+    "MonitoringResult",
+    "SimulationClock",
+    "StreamingConfig",
+    "StreamingMonitor",
+    "TimingBreakdown",
+    "TimingModel",
+]

@@ -1,0 +1,38 @@
+"""Simulation clock for the closed-loop framework.
+
+The EMAP timeline (Fig. 9) advances in one-second acquisition ticks
+(T_clk = 1 s); cloud searches run "in the background" and complete at a
+wall-clock instant derived from the timing model.  The clock tracks the
+current simulated time and enforces monotonicity.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FrameworkError
+
+
+class SimulationClock:
+    """Monotonic simulated time in seconds."""
+
+    def __init__(self, start_s: float = 0.0) -> None:
+        if start_s < 0:
+            raise FrameworkError(f"start time must be non-negative, got {start_s}")
+        self._now = float(start_s)
+
+    @property
+    def now_s(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    def advance(self, delta_s: float) -> float:
+        """Move time forward by ``delta_s``; returns the new time."""
+        if delta_s < 0:
+            raise FrameworkError(f"cannot advance time by {delta_s} s")
+        self._now += delta_s
+        return self._now
+
+    def advance_to(self, instant_s: float) -> float:
+        """Move time forward to an absolute instant (no-op if past)."""
+        if instant_s > self._now:
+            self._now = float(instant_s)
+        return self._now

@@ -1,0 +1,87 @@
+"""Event log for the EMAP timeline (paper Fig. 9).
+
+Every stage transition of the closed loop is recorded as a timestamped
+event; the Fig. 9 experiment renders the log as the paper's timing
+diagram (sampling ticks, upload, cloud search window, download,
+per-iteration tracking, background refreshes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Iterator
+
+from repro.errors import FrameworkError
+
+
+class EventKind(Enum):
+    """The stage transitions the framework records."""
+
+    SAMPLE = "sample"
+    UPLOAD = "upload"
+    SEARCH_START = "search_start"
+    SEARCH_DONE = "search_done"
+    DOWNLOAD = "download"
+    TRACK = "track"
+    CLOUD_CALL = "cloud_call"
+    SET_REFRESH = "set_refresh"
+    PREDICTION = "prediction"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timestamped stage transition."""
+
+    time_s: float
+    kind: EventKind
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise FrameworkError(f"event time must be non-negative, got {self.time_s}")
+
+
+class EventLog:
+    """Time-ordered event record.
+
+    Events may be recorded out of arrival order (a dispatched cloud
+    search logs its *future* completion instant); the log keeps itself
+    sorted by timestamp, with ties preserving insertion order.
+    """
+
+    def __init__(self) -> None:
+        self._events: list[Event] = []
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def record(self, time_s: float, kind: EventKind, **detail: Any) -> Event:
+        """Insert one event at its time-ordered position."""
+        event = Event(time_s=time_s, kind=kind, detail=dict(detail))
+        position = len(self._events)
+        while position > 0 and self._events[position - 1].time_s > time_s + 1e-12:
+            position -= 1
+        self._events.insert(position, event)
+        return event
+
+    def of_kind(self, kind: EventKind) -> list[Event]:
+        """All events of one kind, in time order."""
+        return [event for event in self._events if event.kind is kind]
+
+    def first_of_kind(self, kind: EventKind) -> Event | None:
+        for event in self._events:
+            if event.kind is kind:
+                return event
+        return None
+
+    def timeline(self) -> list[str]:
+        """Human-readable rendering, one line per event."""
+        lines = []
+        for event in self._events:
+            details = ", ".join(f"{k}={v}" for k, v in sorted(event.detail.items()))
+            lines.append(f"[{event.time_s:9.3f}s] {event.kind.value:<12} {details}")
+        return lines

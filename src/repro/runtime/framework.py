@@ -1,0 +1,201 @@
+"""The closed-loop EMAP framework (paper Fig. 3 / Fig. 9).
+
+:class:`EMAPFramework` wires the edge device to the cloud server on a
+simulated one-second timeline:
+
+1. the first frame is uploaded; the cloud search runs for ΔCS and the
+   top-100 set downloads after Δinitial (≈3 s) — frames acquired while
+   the search is in flight are not tracked, exactly as in Fig. 9;
+2. every subsequent frame drives one Algorithm 2 tracking iteration,
+   producing an anomaly-probability observation;
+3. when the call policy fires (N(F) < H, or the five-iteration
+   refresh), the current frame is transmitted *in the background*:
+   tracking continues on the old set and the fresh set is adopted at
+   the simulated instant the download completes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import FrameworkError
+from repro.edge.device import CloudCallPolicy, EdgeDevice
+
+if TYPE_CHECKING:  # avoid a circular import with repro.cloud.server
+    from repro.cloud.results import SearchResult
+    from repro.cloud.server import CloudServer
+from repro.edge.predictor import PredictorConfig
+from repro.edge.tracker import TrackerConfig
+from repro.runtime.clock import SimulationClock
+from repro.runtime.events import EventKind, EventLog
+from repro.signals.types import Frame, Signal
+
+
+@dataclass(frozen=True)
+class FrameworkConfig:
+    """Knobs of the closed loop (stage configs live in their modules)."""
+
+    tracker: TrackerConfig = field(default_factory=TrackerConfig)
+    predictor: PredictorConfig = field(default_factory=PredictorConfig)
+    policy: CloudCallPolicy = field(default_factory=CloudCallPolicy)
+    tick_s: float = 1.0
+    max_iterations: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.tick_s <= 0:
+            raise FrameworkError(f"tick must be positive, got {self.tick_s}")
+        if self.max_iterations is not None and self.max_iterations < 1:
+            raise FrameworkError(
+                f"max iterations must be >= 1, got {self.max_iterations}"
+            )
+
+
+@dataclass
+class MonitoringResult:
+    """Everything one monitoring session produced."""
+
+    pa_series: list[float] = field(default_factory=list)
+    tracked_counts: list[int] = field(default_factory=list)
+    predictions: list[bool] = field(default_factory=list)
+    cloud_calls: int = 0
+    initial_latency_s: float = 0.0
+    iterations: int = 0
+    events: EventLog = field(default_factory=EventLog)
+
+    @property
+    def final_prediction(self) -> bool:
+        """The session's overall anomaly decision."""
+        if not self.predictions:
+            return False
+        return self.predictions[-1]
+
+    @property
+    def peak_probability(self) -> float:
+        if not self.pa_series:
+            return 0.0
+        return max(self.pa_series)
+
+
+@dataclass
+class _PendingSearch:
+    """A cloud call in flight: its result and arrival instant."""
+
+    result: SearchResult
+    ready_at_s: float
+
+
+class EMAPFramework:
+    """Runs one patient recording through the full EMAP loop."""
+
+    def __init__(
+        self,
+        cloud: CloudServer,
+        config: FrameworkConfig | None = None,
+    ) -> None:
+        self.cloud = cloud
+        self.config = config or FrameworkConfig()
+
+    def run(self, recording: Signal) -> MonitoringResult:
+        """Monitor a recording end to end; returns the session result."""
+        edge = EdgeDevice(
+            recording,
+            tracker_config=self.config.tracker,
+            predictor_config=self.config.predictor,
+            policy=self.config.policy,
+        )
+        clock = SimulationClock()
+        result = MonitoringResult()
+        log = result.events
+        pending: _PendingSearch | None = None
+
+        first_frame = edge.acquire()
+        if first_frame is None:
+            raise FrameworkError(
+                "recording too short for even one acquisition frame"
+            )
+        clock.advance(self.config.tick_s)  # sampling window t0
+        log.record(clock.now_s, EventKind.SAMPLE, frame=first_frame.index)
+        pending = self._dispatch(edge, first_frame, clock.now_s, log, result)
+        result.initial_latency_s = pending.ready_at_s - clock.now_s
+
+        while True:
+            if (
+                self.config.max_iterations is not None
+                and result.iterations >= self.config.max_iterations
+            ):
+                break
+            frame = edge.acquire()
+            if frame is None:
+                break
+            clock.advance(self.config.tick_s)
+            log.record(clock.now_s, EventKind.SAMPLE, frame=frame.index)
+
+            if pending is not None and clock.now_s >= pending.ready_at_s:
+                edge.adopt_correlation_set(pending.result)
+                log.record(
+                    clock.now_s,
+                    EventKind.SET_REFRESH,
+                    matches=len(pending.result.matches),
+                )
+                pending = None
+
+            if edge.tracker.tracked_count == 0:
+                # Nothing to track: either the initial search is still
+                # in flight, or the whole set was pruned — make sure a
+                # replacement search is on its way.
+                if pending is None:
+                    log.record(clock.now_s, EventKind.CLOUD_CALL, tracked=0)
+                    pending = self._dispatch(edge, frame, clock.now_s, log, result)
+                continue
+
+            step = edge.track(frame)
+            result.iterations += 1
+            result.pa_series.append(step.anomaly_probability)
+            result.tracked_counts.append(step.tracked_after)
+            prediction = edge.predict()
+            result.predictions.append(prediction)
+            log.record(
+                clock.now_s,
+                EventKind.TRACK,
+                iteration=step.iteration,
+                tracked=step.tracked_after,
+                removed=step.removed,
+                pa=round(step.anomaly_probability, 4),
+            )
+            log.record(clock.now_s, EventKind.PREDICTION, anomaly=prediction)
+
+            if pending is None and edge.wants_cloud_call():
+                log.record(
+                    clock.now_s,
+                    EventKind.CLOUD_CALL,
+                    tracked=edge.tracker.tracked_count,
+                )
+                pending = self._dispatch(edge, frame, clock.now_s, log, result)
+
+        return result
+
+    def _dispatch(
+        self,
+        edge: EdgeDevice,
+        frame: Frame,
+        now_s: float,
+        log: EventLog,
+        result: MonitoringResult,
+    ) -> _PendingSearch:
+        """Send a frame to the cloud; returns the in-flight search."""
+        edge.request_cloud_call()
+        result.cloud_calls += 1
+        search_result, breakdown = self.cloud.handle_frame(frame)
+        log.record(now_s, EventKind.UPLOAD, seconds=round(breakdown.upload_s, 6))
+        log.record(now_s + breakdown.upload_s, EventKind.SEARCH_START)
+        done = now_s + breakdown.upload_s + breakdown.search_s
+        log.record(
+            done,
+            EventKind.SEARCH_DONE,
+            matches=len(search_result.matches),
+            correlations=search_result.correlations_evaluated,
+        )
+        ready = done + breakdown.download_s
+        log.record(ready, EventKind.DOWNLOAD, seconds=round(breakdown.download_s, 6))
+        return _PendingSearch(result=search_result, ready_at_s=ready)

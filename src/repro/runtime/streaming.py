@@ -1,0 +1,172 @@
+"""Streaming monitor: the closed loop as an online, push-based API.
+
+:class:`EMAPFramework` consumes a complete recording; a deployed edge
+node instead sees samples arrive *live*.  :class:`StreamingMonitor`
+exposes exactly that interface: push raw samples in arbitrary-size
+chunks as the amplifier delivers them, and the monitor emits one
+:class:`MonitorUpdate` per completed one-second frame — with the same
+acquisition → search → tracking → prediction semantics as the batch
+framework (the test suite asserts trace equivalence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+from repro.errors import FrameworkError, SignalError
+from repro.edge.device import CloudCallPolicy
+
+if TYPE_CHECKING:  # avoid a circular import with repro.cloud.server
+    from repro.cloud.server import CloudServer
+from repro.edge.predictor import AnomalyPredictor, PredictorConfig
+from repro.edge.tracker import SignalTracker, TrackerConfig
+from repro.signals.filters import FilterSpec, StreamingFIRFilter
+from repro.signals.types import BASE_SAMPLE_RATE_HZ, FRAME_SAMPLES, Frame
+
+
+@dataclass(frozen=True)
+class MonitorUpdate:
+    """What the monitor reports after each completed frame."""
+
+    frame_index: int
+    time_s: float
+    anomaly_probability: float
+    tracked_count: int
+    anomaly_predicted: bool
+    cloud_call_issued: bool
+
+
+@dataclass
+class StreamingConfig:
+    """Knobs of the streaming monitor."""
+
+    tracker: TrackerConfig = field(default_factory=TrackerConfig)
+    predictor: PredictorConfig = field(default_factory=PredictorConfig)
+    policy: CloudCallPolicy = field(default_factory=CloudCallPolicy)
+    filter_spec: FilterSpec = field(default_factory=FilterSpec)
+    frame_samples: int = FRAME_SAMPLES
+    #: Simulated cloud round-trip in whole frames: a search issued at
+    #: frame N is adopted at frame N + latency (Fig. 9's in-flight gap).
+    cloud_latency_frames: int = 2
+
+    def __post_init__(self) -> None:
+        if self.frame_samples <= 0:
+            raise FrameworkError(
+                f"frame size must be positive, got {self.frame_samples}"
+            )
+        if self.cloud_latency_frames < 0:
+            raise FrameworkError(
+                f"cloud latency must be non-negative, got {self.cloud_latency_frames}"
+            )
+
+
+class StreamingMonitor:
+    """Push-based EMAP session over a live sample stream."""
+
+    def __init__(
+        self, cloud: CloudServer, config: StreamingConfig | None = None
+    ) -> None:
+        self.cloud = cloud
+        self.config = config or StreamingConfig()
+        self._filter = StreamingFIRFilter(self.config.filter_spec)
+        self._tracker = SignalTracker(self.config.tracker)
+        self._predictor = AnomalyPredictor(self.config.predictor)
+        self._buffer = np.empty(0)
+        self._frame_index = 0
+        self._iterations_since_refresh = 0
+        self._pending: tuple[int, object] | None = None  # (ready_frame, result)
+        self.cloud_calls = 0
+        self.updates: list[MonitorUpdate] = []
+
+    @property
+    def tracker(self) -> SignalTracker:
+        return self._tracker
+
+    @property
+    def predictor(self) -> AnomalyPredictor:
+        return self._predictor
+
+    def push(self, samples: np.ndarray) -> list[MonitorUpdate]:
+        """Feed raw (unfiltered) samples; returns updates for every
+        frame the chunk completed."""
+        chunk = np.asarray(samples, dtype=np.float64)
+        if chunk.ndim != 1:
+            raise SignalError(f"sample chunk must be 1-D, got shape {chunk.shape}")
+        if chunk.size == 0:
+            return []
+        filtered = self._filter.process(chunk)
+        self._buffer = np.concatenate([self._buffer, filtered])
+        emitted: list[MonitorUpdate] = []
+        size = self.config.frame_samples
+        while self._buffer.size >= size:
+            frame_data, self._buffer = self._buffer[:size], self._buffer[size:]
+            emitted.append(self._handle_frame(frame_data))
+        self.updates.extend(emitted)
+        return emitted
+
+    def _handle_frame(self, data: np.ndarray) -> MonitorUpdate:
+        frame = Frame(
+            data=data,
+            index=self._frame_index,
+            filtered=True,
+            expected_samples=self.config.frame_samples,
+        )
+        self._frame_index += 1
+
+        # Adopt a finished background search.
+        if self._pending is not None and frame.index >= self._pending[0]:
+            self._tracker.load(self._pending[1])
+            self._iterations_since_refresh = 0
+            self._pending = None
+
+        issued = False
+        if self._tracker.tracked_count > 0:
+            step = self._tracker.step(frame)
+            self._predictor.observe(
+                step.anomaly_probability, support=step.tracked_after
+            )
+            self._iterations_since_refresh += 1
+            probability = step.anomaly_probability
+            tracked = step.tracked_after
+        else:
+            probability = 0.0
+            tracked = 0
+
+        wants_call = self._pending is None and (
+            tracked == 0
+            or self.config.policy.should_call(
+                tracked, self._iterations_since_refresh
+            )
+        )
+        if wants_call:
+            result, _breakdown = self.cloud.handle_frame(frame)
+            ready = frame.index + 1 + self.config.cloud_latency_frames
+            self._pending = (ready, result)
+            self._iterations_since_refresh = 0
+            self.cloud_calls += 1
+            issued = True
+
+        return MonitorUpdate(
+            frame_index=frame.index,
+            time_s=(frame.index + 1) * self.config.frame_samples / BASE_SAMPLE_RATE_HZ,
+            anomaly_probability=probability,
+            tracked_count=tracked,
+            anomaly_predicted=self._predictor.predict() if tracked > 0 else False,
+            cloud_call_issued=issued,
+        )
+
+    def reset(self) -> None:
+        """Start a fresh session (new patient)."""
+        self._filter.reset()
+        self._tracker = SignalTracker(self.config.tracker)
+        self._predictor = AnomalyPredictor(self.config.predictor)
+        self._buffer = np.empty(0)
+        self._frame_index = 0
+        self._iterations_since_refresh = 0
+        self._pending = None
+        self.cloud_calls = 0
+        self.updates = []

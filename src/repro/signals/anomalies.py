@@ -1,0 +1,401 @@
+"""Anomaly morphology injectors for the three evaluated disorders.
+
+Each anomaly class is synthesised as a train of class-canonical sharp
+transients superimposed on (and partly replacing) background EEG:
+
+* **Seizure** — 3.5 Hz spike-and-wave complexes with a long preictal
+  build-up, the classical generalized tonic-clonic signature.  The
+  build-up is what makes *prediction* possible: windows taken 15–120 s
+  before the annotated onset already carry a (weak, growing) ictal
+  signature, so they correlate preferentially with ictal MDB slices.
+* **Encephalopathy** — ~1.8 Hz triphasic waves over an attenuated,
+  slowed background; the paper annotates these records as anomalous in
+  their entirety, and so do we (onset at sample 0).
+* **Stroke** — ~1.0 Hz periodic lateralized epileptiform discharges
+  (PLED-like) over a strongly attenuated background, again annotated
+  whole-record.
+
+The transient *shapes* are canonical per class while repetition rate and
+phase jitter per record; after the paper's 11–40 Hz bandpass each class
+therefore retains a distinctive, cross-record-correlatable waveform —
+the property the whole EMAP pipeline rests on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np  # noqa: F401  (re-exported in type signatures)
+
+from repro.errors import SignalError
+from repro.signals.types import AnomalyType, Signal
+from repro.signals.generator import EEGGenerator
+
+#: Default repetition rate of the class-canonical transient train (Hz).
+DEFAULT_RATES_HZ: dict[AnomalyType, float] = {
+    AnomalyType.SEIZURE: 3.5,
+    AnomalyType.ENCEPHALOPATHY: 2.0,
+    AnomalyType.STROKE: 1.2,
+}
+
+#: Default background attenuation during the anomalous span.
+DEFAULT_ATTENUATION: dict[AnomalyType, float] = {
+    AnomalyType.SEIZURE: 0.45,
+    AnomalyType.ENCEPHALOPATHY: 0.30,
+    AnomalyType.STROKE: 0.25,
+}
+
+#: Default transient peak amplitude (µV) per class.
+DEFAULT_AMPLITUDES_UV: dict[AnomalyType, float] = {
+    AnomalyType.SEIZURE: 260.0,
+    AnomalyType.ENCEPHALOPATHY: 210.0,
+    AnomalyType.STROKE: 170.0,
+}
+
+
+@dataclass(frozen=True)
+class AnomalySpec:
+    """Parameters of one anomalous episode.
+
+    Parameters
+    ----------
+    kind:
+        Which disorder to synthesise (must be anomalous).
+    onset_s:
+        Episode onset in seconds from record start.  ``None`` marks the
+        whole record anomalous (the paper's handling of encephalopathy
+        and stroke data).
+    buildup_s:
+        Length of the preictal amplitude ramp before onset (seizures).
+    peak_amplitude_uv:
+        Transient amplitude during the full-blown episode.
+    preictal_fraction:
+        Fraction of the peak amplitude reached right before onset.
+    rate_hz:
+        Transient repetition rate; defaults per class.
+    rate_jitter_hz:
+        Std-dev of the per-record rate perturbation.
+    attenuation:
+        Background multiplier inside the anomalous span; defaults per
+        class.
+    """
+
+    kind: AnomalyType
+    onset_s: float | None = None
+    buildup_s: float = 150.0
+    peak_amplitude_uv: float | None = None
+    preictal_fraction: float = 0.65
+    rate_hz: float | None = None
+    rate_jitter_hz: float = 0.04
+    attenuation: float | None = None
+    ramp_exponent: float = 0.45
+    label_fraction: float = 0.35
+
+    def __post_init__(self) -> None:
+        if not self.kind.is_anomalous:
+            raise SignalError("AnomalySpec requires an anomalous kind")
+        if self.onset_s is not None and self.onset_s < 0:
+            raise SignalError(f"onset must be non-negative, got {self.onset_s}")
+        if self.buildup_s < 0:
+            raise SignalError(
+                f"buildup must be non-negative, got {self.buildup_s}"
+            )
+        if self.peak_amplitude_uv is not None and self.peak_amplitude_uv <= 0:
+            raise SignalError(
+                f"peak amplitude must be positive, got {self.peak_amplitude_uv}"
+            )
+        if not (0.0 <= self.preictal_fraction <= 1.0):
+            raise SignalError(
+                f"preictal fraction must be in [0, 1], got {self.preictal_fraction}"
+            )
+        if not (0.0 < self.label_fraction <= 1.0):
+            raise SignalError(
+                f"label fraction must be in (0, 1], got {self.label_fraction}"
+            )
+        if self.ramp_exponent <= 0:
+            raise SignalError(
+                f"ramp exponent must be positive, got {self.ramp_exponent}"
+            )
+
+    def effective_rate_hz(self) -> float:
+        """The repetition rate, falling back to the class default."""
+        if self.rate_hz is not None:
+            return self.rate_hz
+        return DEFAULT_RATES_HZ[self.kind]
+
+    def effective_amplitude_uv(self) -> float:
+        """The transient peak amplitude, falling back to the class default."""
+        if self.peak_amplitude_uv is not None:
+            return self.peak_amplitude_uv
+        return DEFAULT_AMPLITUDES_UV[self.kind]
+
+    def effective_attenuation(self) -> float:
+        """The background attenuation, falling back to the class default."""
+        if self.attenuation is not None:
+            return self.attenuation
+        return DEFAULT_ATTENUATION[self.kind]
+
+
+def _gaussian(t: np.ndarray, center: float, width: float) -> np.ndarray:
+    return np.exp(-0.5 * ((t - center) / width) ** 2)
+
+
+def _damped_tail(
+    t: np.ndarray,
+    start: float,
+    freq_hz: float,
+    amplitude: float,
+    decay_s: float,
+) -> np.ndarray:
+    """Phase-locked damped oscillation following a transient.
+
+    The tail gives each class a *continuous* in-band signature whose
+    phase is locked to the transient train, so aligning transients also
+    aligns the oscillation — the property that keeps within-class
+    correlations high over full inter-transient intervals.
+    """
+    tail = np.zeros_like(t)
+    active = t >= start
+    rel = t[active] - start
+    tail[active] = (
+        amplitude
+        * np.sin(2.0 * np.pi * freq_hz * rel)
+        * np.exp(-rel / decay_s)
+    )
+    return tail
+
+
+def spike_wave_template(sample_rate_hz: float) -> np.ndarray:
+    """Canonical epileptiform polyspike-and-wave complex (unit peak).
+
+    Two sharp spikes 40 ms apart (in-band ~25 Hz doublet structure)
+    followed by a slower after-going wave.  The doublet is what keeps
+    the seizure shape distinctive *after* the 11–40 Hz bandpass, where
+    an isolated spike would degenerate into generic filter ringing.
+    """
+    duration = 0.28
+    t = np.arange(0.0, duration, 1.0 / sample_rate_hz)
+    spikes = _gaussian(t, 0.03, 0.010) + 0.85 * _gaussian(t, 0.07, 0.010)
+    wave = -0.50 * _gaussian(t, 0.16, 0.040)
+    tail = _damped_tail(t, 0.10, 24.0, 0.25, 0.12)
+    return spikes + wave + tail
+
+
+def triphasic_template(sample_rate_hz: float) -> np.ndarray:
+    """Canonical triphasic wave (negative–positive–negative, unit peak).
+
+    Sharp alternating-polarity lobes 60 ms apart; the sign pattern is
+    what separates it from the seizure doublet under the bandpass.
+    """
+    duration = 0.50
+    t = np.arange(0.0, duration, 1.0 / sample_rate_hz)
+    lobes = (
+        -0.60 * _gaussian(t, 0.06, 0.012)
+        + 1.00 * _gaussian(t, 0.12, 0.014)
+        - 0.50 * _gaussian(t, 0.20, 0.018)
+    )
+    tail = _damped_tail(t, 0.22, 12.5, 0.35, 0.30)
+    return lobes + tail
+
+
+def pled_template(sample_rate_hz: float) -> np.ndarray:
+    """Canonical periodic lateralized discharge (sharp biphasic, unit peak)."""
+    duration = 0.80
+    t = np.arange(0.0, duration, 1.0 / sample_rate_hz)
+    lobes = _gaussian(t, 0.05, 0.013) - 0.70 * _gaussian(t, 0.11, 0.022)
+    tail = _damped_tail(t, 0.16, 15.5, 0.35, 0.45)
+    return lobes + tail
+
+
+_TEMPLATES = {
+    AnomalyType.SEIZURE: spike_wave_template,
+    AnomalyType.ENCEPHALOPATHY: triphasic_template,
+    AnomalyType.STROKE: pled_template,
+}
+
+
+def transient_template(kind: AnomalyType, sample_rate_hz: float) -> np.ndarray:
+    """The class-canonical transient shape for ``kind`` (unit peak)."""
+    try:
+        factory = _TEMPLATES[kind]
+    except KeyError:
+        raise SignalError(f"no transient template for {kind}") from None
+    return factory(sample_rate_hz)
+
+
+def _transient_train(
+    n_samples: int,
+    sample_rate_hz: float,
+    kind: AnomalyType,
+    rate_hz: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Unit-amplitude periodic train of the class transient."""
+    if rate_hz <= 0:
+        raise SignalError(f"transient rate must be positive, got {rate_hz}")
+    template = transient_template(kind, sample_rate_hz)
+    train = np.zeros(n_samples)
+    period = sample_rate_hz / rate_hz
+    if period < 1.0:
+        raise SignalError(
+            f"rate {rate_hz} Hz too fast for fs={sample_rate_hz} Hz"
+        )
+    start = rng.uniform(0.0, period)
+    position = start
+    while position < n_samples:
+        index = int(round(position))
+        stop = min(index + template.size, n_samples)
+        if index < n_samples:
+            train[index:stop] += template[: stop - index]
+        position += period
+    return train
+
+
+@dataclass(frozen=True)
+class InjectedAnomaly:
+    """Result of superimposing an episode on background EEG.
+
+    ``onset_sample`` is the clinical onset; ``label_start_sample`` is
+    where the anomaly *annotation* begins (the paper's "preset" of the
+    anomaly progression).  ``anomalous_spans`` are the sample intervals
+    actually containing anomalous morphology: the preictal discharge
+    bursts plus the ictal span itself — what the slicing stage labels
+    against.
+    """
+
+    data: np.ndarray
+    onset_sample: int
+    label_start_sample: int
+    anomalous_spans: tuple[tuple[int, int], ...]
+
+
+def _taper(length: int, edge: int) -> np.ndarray:
+    """Unit plateau with raised-cosine edges of ``edge`` samples."""
+    window = np.ones(length)
+    edge = min(edge, length // 2)
+    if edge > 0:
+        ramp = 0.5 * (1.0 - np.cos(np.pi * np.arange(edge) / edge))
+        window[:edge] = ramp
+        window[-edge:] = ramp[::-1]
+    return window
+
+
+def _episode_envelope(
+    n_samples: int,
+    sample_rate_hz: float,
+    spec: AnomalySpec,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, int, int, tuple[tuple[int, int], ...]]:
+    """Relative (0–1) morphology envelope plus annotations.
+
+    Whole-record anomalies get a flat envelope of 1 (onset 0, one span
+    covering everything).  Onset-annotated anomalies model the preictal
+    state the way clinical EEG shows it: intermittent full-amplitude
+    **discharge bursts** (~3–5 s epochs) whose *occurrence probability*
+    ramps as ``preictal_fraction · x^ramp_exponent`` across the
+    build-up, followed by the continuous ictal state after the onset.
+    Burst-density (rather than amplitude) ramping keeps every
+    one-second window unambiguous — clearly background or clearly
+    epileptiform — which is what lets the cloud search's fixed δ = 0.8
+    admit matches throughout the build-up.
+    """
+    envelope = np.zeros(n_samples)
+    if spec.onset_s is None:
+        return np.ones(n_samples), 0, 0, ((0, n_samples),)
+
+    onset = int(round(spec.onset_s * sample_rate_hz))
+    onset = min(max(onset, 0), n_samples)
+    buildup = int(round(spec.buildup_s * sample_rate_hz))
+    ramp_start = max(onset - buildup, 0)
+    edge = int(round(0.25 * sample_rate_hz))
+    spans: list[tuple[int, int]] = []
+
+    position = ramp_start
+    while position < onset:
+        epoch = int(round(rng.uniform(3.0, 5.0) * sample_rate_hz))
+        stop = min(position + epoch, onset)
+        if stop <= position:
+            break
+        mid = 0.5 * (position + stop)
+        x = (mid - ramp_start) / max(onset - ramp_start, 1)
+        probability = spec.preictal_fraction * x**spec.ramp_exponent
+        if rng.random() < probability:
+            envelope[position:stop] = _taper(stop - position, edge)
+            spans.append((position, stop))
+        position = stop
+
+    if onset < n_samples:
+        rise = min(edge, n_samples - onset)
+        envelope[onset : onset + rise] = np.maximum(
+            envelope[onset : onset + rise],
+            0.5 * (1.0 - np.cos(np.pi * np.arange(rise) / max(rise, 1))),
+        )
+        envelope[onset + rise :] = 1.0
+        spans.append((onset, n_samples))
+
+    label_x = float(spec.label_fraction ** (1.0 / spec.ramp_exponent))
+    label_start = ramp_start + int(round(label_x * (onset - ramp_start)))
+    return envelope, onset, min(label_start, onset), tuple(spans)
+
+
+def inject_anomaly(
+    background: np.ndarray,
+    spec: AnomalySpec,
+    sample_rate_hz: float,
+    rng: np.random.Generator,
+) -> InjectedAnomaly:
+    """Superimpose an anomalous episode on background EEG.
+
+    The background is attenuated inside the anomalous span (scaled
+    smoothly by the envelope) and the class transient train is added
+    with the per-sample amplitude envelope.
+    """
+    data = np.asarray(background, dtype=np.float64)
+    if data.ndim != 1:
+        raise SignalError(f"background must be 1-D, got shape {data.shape}")
+    n_samples = data.size
+    if n_samples == 0:
+        raise SignalError("background must not be empty")
+
+    rate = spec.effective_rate_hz() + rng.normal(0.0, spec.rate_jitter_hz)
+    rate = max(rate, 0.1)
+    train = _transient_train(n_samples, sample_rate_hz, spec.kind, rate, rng)
+    envelope, onset, label_start, spans = _episode_envelope(
+        n_samples, sample_rate_hz, spec, rng
+    )
+
+    # Attenuate the background in proportion to how anomalous each
+    # sample is: fully attenuated inside bursts, untouched between them.
+    attenuation = spec.effective_attenuation()
+    background_gain = 1.0 - (1.0 - attenuation) * envelope
+    amplitude = spec.effective_amplitude_uv()
+    return InjectedAnomaly(
+        data=data * background_gain + amplitude * envelope * train,
+        onset_sample=onset,
+        label_start_sample=label_start,
+        anomalous_spans=spans,
+    )
+
+
+def make_anomalous_signal(
+    generator: EEGGenerator,
+    duration_s: float,
+    spec: AnomalySpec,
+    channel: str = "Fp1",
+    source: str = "synthetic",
+) -> Signal:
+    """Compose background synthesis and anomaly injection into a Signal."""
+    background = generator.background(duration_s)
+    injected = inject_anomaly(
+        background, spec, generator.spec.sample_rate_hz, generator.rng
+    )
+    return Signal(
+        data=injected.data,
+        sample_rate_hz=generator.spec.sample_rate_hz,
+        label=spec.kind,
+        channel=channel,
+        source=source,
+        onset_sample=injected.onset_sample,
+        label_start_sample=injected.label_start_sample,
+        anomalous_spans=injected.anomalous_spans,
+    )

@@ -1,0 +1,136 @@
+"""Multi-channel recordings and 10-20 montage support.
+
+The paper's sensor is a 10–20-standard electrode cap (Section II); the
+pipeline itself is single-channel, so a deployed system must pick
+*which* channel to track.  This module provides:
+
+* the standard 10–20 electrode inventory and hemisphere/region helpers,
+* :class:`MultiChannelRecording` — equal-length, equal-rate channels,
+* channel selection: best quality score, or highest in-band power —
+  both sensible strategies for feeding the single-channel EMAP loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SignalError
+from repro.signals.quality import QualityAssessor
+from repro.signals.types import Signal
+
+#: The 10-20 standard electrode names (excluding reference/ground).
+TEN_TWENTY_ELECTRODES = (
+    "Fp1", "Fp2",
+    "F7", "F3", "Fz", "F4", "F8",
+    "T3", "C3", "Cz", "C4", "T4",
+    "T5", "P3", "Pz", "P4", "T6",
+    "O1", "O2",
+)
+
+
+def is_ten_twenty(channel: str) -> bool:
+    """Whether a channel name belongs to the 10-20 standard set."""
+    return channel in TEN_TWENTY_ELECTRODES
+
+
+def hemisphere(channel: str) -> str:
+    """'left', 'right' or 'midline' by 10-20 numbering convention."""
+    if not is_ten_twenty(channel):
+        raise SignalError(f"not a 10-20 electrode: {channel!r}")
+    if channel.endswith("z"):
+        return "midline"
+    digit = int(channel[-1])
+    return "left" if digit % 2 == 1 else "right"
+
+
+@dataclass
+class MultiChannelRecording:
+    """Synchronised channels from one cap."""
+
+    channels: dict[str, Signal]
+
+    def __post_init__(self) -> None:
+        if not self.channels:
+            raise SignalError("need at least one channel")
+        lengths = {len(sig) for sig in self.channels.values()}
+        rates = {sig.sample_rate_hz for sig in self.channels.values()}
+        if len(lengths) != 1:
+            raise SignalError(f"channel lengths differ: {sorted(lengths)}")
+        if len(rates) != 1:
+            raise SignalError(f"channel rates differ: {sorted(rates)}")
+        for name, sig in self.channels.items():
+            if sig.channel != name:
+                raise SignalError(
+                    f"channel key {name!r} does not match signal channel "
+                    f"{sig.channel!r}"
+                )
+
+    def __len__(self) -> int:
+        return len(next(iter(self.channels.values())))
+
+    @property
+    def channel_names(self) -> tuple[str, ...]:
+        return tuple(self.channels)
+
+    @property
+    def sample_rate_hz(self) -> float:
+        return next(iter(self.channels.values())).sample_rate_hz
+
+    def get(self, name: str) -> Signal:
+        try:
+            return self.channels[name]
+        except KeyError:
+            known = ", ".join(self.channels)
+            raise SignalError(f"no channel {name!r}; have: {known}") from None
+
+    def average_reference(self) -> "MultiChannelRecording":
+        """Re-reference every channel to the common average."""
+        stack = np.vstack([sig.data for sig in self.channels.values()])
+        mean = stack.mean(axis=0)
+        rereferenced = {
+            name: sig.with_data(sig.data - mean)
+            for name, sig in self.channels.items()
+        }
+        return MultiChannelRecording(channels=rereferenced)
+
+    def select_by_quality(
+        self, assessor: QualityAssessor | None = None, frame_samples: int = 256
+    ) -> Signal:
+        """The channel with the highest fraction of usable frames."""
+        grader = assessor or QualityAssessor(sample_rate_hz=self.sample_rate_hz)
+        best_name = None
+        best_score = -1.0
+        for name, sig in self.channels.items():
+            score = grader.usable_fraction(sig.data, frame_samples)
+            if score > best_score:
+                best_score = score
+                best_name = name
+        return self.channels[best_name]
+
+    def select_by_band_power(
+        self, low_hz: float = 11.0, high_hz: float = 40.0
+    ) -> Signal:
+        """The channel with the most energy in the EMAP passband.
+
+        A crude but effective pick for anomaly monitoring: epileptiform
+        activity concentrates in-band energy on the involved channels.
+        """
+        if not (0 < low_hz < high_hz < self.sample_rate_hz / 2):
+            raise SignalError(f"invalid band [{low_hz}, {high_hz}] Hz")
+        from scipy import signal as sp_signal
+
+        best_name = None
+        best_power = -1.0
+        for name, sig in self.channels.items():
+            nperseg = min(len(sig), 512)
+            freqs, psd = sp_signal.welch(
+                sig.data, fs=self.sample_rate_hz, nperseg=nperseg
+            )
+            mask = (freqs >= low_hz) & (freqs <= high_hz)
+            power = float(np.trapezoid(psd[mask], freqs[mask]))
+            if power > best_power:
+                best_power = power
+                best_name = name
+        return self.channels[best_name]

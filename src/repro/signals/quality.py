@@ -1,0 +1,178 @@
+"""Signal-quality assessment for acquired EEG frames.
+
+Scalp EEG frames are routinely unusable — electrode pops, ocular sweeps,
+muscle bursts, rail saturation.  Uploading such a frame wastes a cloud
+search and can poison the tracked set, so a deployed acquisition stage
+grades every frame before transmission.  This module implements the
+standard per-frame checks:
+
+* **flatline** — near-zero variance (detached electrode),
+* **saturation** — samples pinned at the amplifier rails,
+* **amplitude excursion** — peak-to-peak beyond physiological EEG,
+* **high-frequency contamination** — EMG-band energy ratio,
+* **low-frequency contamination** — ocular/movement-band energy ratio.
+
+:class:`QualityAssessor.assess` returns a :class:`FrameQuality` with a
+0–1 score and the individual flags; the acquisition policy can gate
+uploads on ``is_usable``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import signal as sp_signal
+
+from repro.errors import SignalError
+from repro.signals.types import BASE_SAMPLE_RATE_HZ
+
+
+@dataclass(frozen=True)
+class QualityThresholds:
+    """Limits defining an acceptable EEG frame (µV scale)."""
+
+    flatline_rms_uv: float = 0.5
+    saturation_uv: float = 3000.0
+    saturation_fraction: float = 0.01
+    max_peak_to_peak_uv: float = 600.0
+    max_hf_ratio: float = 0.35
+    max_lf_ratio: float = 0.4
+    hf_band_hz: tuple[float, float] = (45.0, 100.0)
+    #: Boxcar length for the time-domain low-frequency check: energy
+    #: surviving a quarter-second moving average is drift/ocular sway.
+    lf_smooth_s: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.flatline_rms_uv <= 0:
+            raise SignalError("flatline RMS must be positive")
+        if self.saturation_uv <= 0:
+            raise SignalError("saturation level must be positive")
+        if not (0.0 < self.saturation_fraction <= 1.0):
+            raise SignalError("saturation fraction must be in (0, 1]")
+        if self.max_peak_to_peak_uv <= 0:
+            raise SignalError("peak-to-peak limit must be positive")
+        for name in ("max_hf_ratio", "max_lf_ratio"):
+            if not (0.0 < getattr(self, name) <= 1.0):
+                raise SignalError(f"{name} must be in (0, 1]")
+        if self.lf_smooth_s <= 0:
+            raise SignalError("LF smoothing window must be positive")
+
+
+@dataclass(frozen=True)
+class FrameQuality:
+    """Assessment of one frame."""
+
+    score: float
+    flatline: bool
+    saturated: bool
+    amplitude_excursion: bool
+    hf_contaminated: bool
+    lf_contaminated: bool
+
+    @property
+    def is_usable(self) -> bool:
+        """Whether the frame should be uploaded / tracked."""
+        return not (
+            self.flatline
+            or self.saturated
+            or self.amplitude_excursion
+            or self.hf_contaminated
+        )
+
+
+class QualityAssessor:
+    """Grades raw (unfiltered) EEG frames."""
+
+    def __init__(
+        self,
+        thresholds: QualityThresholds | None = None,
+        sample_rate_hz: float = BASE_SAMPLE_RATE_HZ,
+    ) -> None:
+        if sample_rate_hz <= 0:
+            raise SignalError(f"sample rate must be positive, got {sample_rate_hz}")
+        self.thresholds = thresholds or QualityThresholds()
+        self.sample_rate_hz = sample_rate_hz
+
+    def _band_ratio(self, frame: np.ndarray, band: tuple[float, float]) -> float:
+        nyquist = self.sample_rate_hz / 2.0
+        low, high = band
+        high = min(high, nyquist * 0.999)
+        if low > high:
+            return 0.0
+        nperseg = min(frame.size, 128)
+        freqs, psd = sp_signal.welch(frame, fs=self.sample_rate_hz, nperseg=nperseg)
+        total = float(psd.sum())
+        if total <= 0:
+            return 0.0
+        mask = (freqs >= low) & (freqs <= high)
+        return float(psd[mask].sum()) / total
+
+    def _lf_ratio(self, centered: np.ndarray) -> float:
+        """Fraction of variance surviving a short moving average.
+
+        A one-second frame cannot spectrally resolve sub-hertz drift,
+        so the check is time-domain: drift/ocular sway survives the
+        boxcar, in-band EEG rhythms average out.
+        """
+        width = max(2, int(round(self.thresholds.lf_smooth_s * self.sample_rate_hz)))
+        if width >= centered.size:
+            return 0.0
+        kernel = np.ones(width) / width
+        smoothed = np.convolve(centered, kernel, mode="same")
+        total = float(np.mean(centered**2))
+        if total <= 0:
+            return 0.0
+        return min(1.0, float(np.mean(smoothed**2)) / total)
+
+    def assess(self, frame: np.ndarray) -> FrameQuality:
+        """Grade one raw frame (any length ≥ 16 samples)."""
+        data = np.asarray(frame, dtype=np.float64)
+        if data.ndim != 1 or data.size < 16:
+            raise SignalError(
+                f"quality assessment needs a 1-D frame of >= 16 samples, "
+                f"got shape {data.shape}"
+            )
+        limits = self.thresholds
+        centered = data - data.mean()
+        rms = float(np.sqrt(np.mean(centered**2)))
+
+        flatline = rms < limits.flatline_rms_uv
+        saturated = (
+            float((np.abs(data) >= limits.saturation_uv).mean())
+            >= limits.saturation_fraction
+        )
+        peak_to_peak = float(data.max() - data.min())
+        excursion = peak_to_peak > limits.max_peak_to_peak_uv
+        hf_ratio = self._band_ratio(centered, limits.hf_band_hz)
+        lf_ratio = self._lf_ratio(centered)
+        hf_contaminated = hf_ratio > limits.max_hf_ratio
+        lf_contaminated = lf_ratio > limits.max_lf_ratio
+
+        # Score: start at 1, subtract proportional penalties.
+        score = 1.0
+        if flatline or saturated:
+            score = 0.0
+        else:
+            score -= 0.5 * min(1.0, peak_to_peak / limits.max_peak_to_peak_uv) ** 4
+            score -= 0.3 * min(1.0, hf_ratio / limits.max_hf_ratio) ** 2
+            score -= 0.2 * min(1.0, lf_ratio / limits.max_lf_ratio) ** 2
+        return FrameQuality(
+            score=max(0.0, min(1.0, score)),
+            flatline=flatline,
+            saturated=saturated,
+            amplitude_excursion=excursion,
+            hf_contaminated=hf_contaminated,
+            lf_contaminated=lf_contaminated,
+        )
+
+    def usable_fraction(self, data: np.ndarray, frame_samples: int = 256) -> float:
+        """Fraction of a recording's frames that pass the quality gate."""
+        series = np.asarray(data, dtype=np.float64)
+        if series.size < frame_samples:
+            raise SignalError("recording shorter than one frame")
+        verdicts = [
+            self.assess(series[start : start + frame_samples]).is_usable
+            for start in range(0, series.size - frame_samples + 1, frame_samples)
+        ]
+        return float(np.mean(verdicts))

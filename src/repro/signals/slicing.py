@@ -1,0 +1,105 @@
+"""Slicing recordings into 1000-sample signal-sets (paper Section V-B).
+
+Each MDB entry is a contiguous 1000-sample slice of a filtered,
+256 Hz recording, labelled normal or anomalous.  For recordings with an
+annotated onset, slices are labelled anomalous when they overlap the
+anomalous span; recordings without onsets inherit the whole-record
+label, matching the paper's handling of the sparsely-annotated
+encephalopathy and stroke data ("we have annotated the complete signal
+as an anomaly").
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import SignalError
+from repro.signals.types import SLICE_SAMPLES, AnomalyType, Signal, SignalSlice
+
+
+#: Fraction of a slice that must be anomalous for an anomalous label.
+#: Deliberately permissive (10 %): clinical annotations mark whole
+#: anomalous *episodes*, so slices dominated by inter-discharge
+#: background still carry the anomalous label — the label noise behind
+#: the paper's mixed correlation sets (Fig. 2, PA₀ ≈ 0.22) and its
+#: ~15 % false-positive rate.
+DEFAULT_MIN_ANOMALY_OVERLAP = 0.1
+
+
+def slice_signal(
+    sig: Signal,
+    slice_samples: int = SLICE_SAMPLES,
+    stride: int | None = None,
+    min_anomaly_overlap: float = DEFAULT_MIN_ANOMALY_OVERLAP,
+) -> Iterator[SignalSlice]:
+    """Yield labelled signal-sets from a recording.
+
+    Parameters
+    ----------
+    sig:
+        The (already filtered, base-rate) recording.
+    slice_samples:
+        Samples per signal-set; the paper uses 1000.
+    stride:
+        Offset between consecutive slices; defaults to ``slice_samples``
+        (non-overlapping), the paper's scheme.
+    min_anomaly_overlap:
+        For onset-annotated recordings, the fraction of a slice that
+        must lie inside the annotated anomalous span (label start — or
+        clinical onset when no label start is set — to record end) for
+        the slice to be labelled anomalous.
+
+    A trailing partial slice is dropped.
+    """
+    if slice_samples <= 0:
+        raise SignalError(f"slice size must be positive, got {slice_samples}")
+    step = slice_samples if stride is None else stride
+    if step <= 0:
+        raise SignalError(f"stride must be positive, got {step}")
+    if not (0.0 < min_anomaly_overlap <= 1.0):
+        raise SignalError(
+            f"min anomaly overlap must be in (0, 1], got {min_anomaly_overlap}"
+        )
+
+    label_start = sig.effective_label_start
+    spans = sig.anomalous_spans
+    for number, start in enumerate(
+        range(0, len(sig.data) - slice_samples + 1, step)
+    ):
+        stop = start + slice_samples
+        label = sig.label
+        if label.is_anomalous:
+            if spans is not None:
+                overlap = sum(
+                    max(0, min(stop, span_stop) - max(start, span_start))
+                    for span_start, span_stop in spans
+                )
+                if overlap < min_anomaly_overlap * slice_samples:
+                    label = AnomalyType.NONE
+            elif label_start is not None:
+                overlap = max(0, stop - max(start, label_start))
+                if overlap < min_anomaly_overlap * slice_samples:
+                    label = AnomalyType.NONE
+        yield SignalSlice(
+            data=sig.data[start:stop].copy(),
+            label=label,
+            source=sig.source,
+            start_sample=start,
+            slice_id=f"{sig.source}/{sig.channel}/{number}",
+        )
+
+
+def count_slices(
+    total_samples: int,
+    slice_samples: int = SLICE_SAMPLES,
+    stride: int | None = None,
+) -> int:
+    """Number of complete slices a recording of given length yields."""
+    if slice_samples <= 0:
+        raise SignalError(f"slice size must be positive, got {slice_samples}")
+    step = slice_samples if stride is None else stride
+    if step <= 0:
+        raise SignalError(f"stride must be positive, got {step}")
+    if total_samples < slice_samples:
+        return 0
+    return (total_samples - slice_samples) // step + 1

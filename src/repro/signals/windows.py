@@ -1,0 +1,100 @@
+"""Prefix-sum windowed statistics over signal slices.
+
+The sliding-window search (Algorithm 1) needs the mean and centred norm
+of arbitrary windows of each 1000-sample MDB slice.  Recomputing them
+per offset would cost O(m) each; :class:`WindowedStats` precomputes two
+prefix-sum arrays per slice so any window's statistics come out in O(1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SignalError
+from repro.signals.metrics import NORM_EPSILON
+
+
+class WindowedStats:
+    """O(1) mean / centred-norm queries over windows of a 1-D series."""
+
+    def __init__(self, data: np.ndarray) -> None:
+        series = np.asarray(data, dtype=np.float64)
+        if series.ndim != 1:
+            raise SignalError(f"series must be 1-D, got shape {series.shape}")
+        if series.size == 0:
+            raise SignalError("series must not be empty")
+        self._data = series
+        self._prefix = np.concatenate(([0.0], np.cumsum(series)))
+        self._prefix_sq = np.concatenate(([0.0], np.cumsum(series * series)))
+
+    def __len__(self) -> int:
+        return self._data.size
+
+    @property
+    def data(self) -> np.ndarray:
+        """The underlying series (read-only view)."""
+        view = self._data.view()
+        view.flags.writeable = False
+        return view
+
+    def _check_window(self, offset: int, length: int) -> None:
+        if length <= 0:
+            raise SignalError(f"window length must be positive, got {length}")
+        if offset < 0 or offset + length > self._data.size:
+            raise SignalError(
+                f"window [{offset}, {offset + length}) outside series of "
+                f"length {self._data.size}"
+            )
+
+    def window_sum(self, offset: int, length: int) -> float:
+        """Σ data[offset : offset+length]."""
+        self._check_window(offset, length)
+        return float(self._prefix[offset + length] - self._prefix[offset])
+
+    def window_mean(self, offset: int, length: int) -> float:
+        """Mean of the window."""
+        return self.window_sum(offset, length) / length
+
+    def window_sq_sum(self, offset: int, length: int) -> float:
+        """Σ data² over the window."""
+        self._check_window(offset, length)
+        return float(self._prefix_sq[offset + length] - self._prefix_sq[offset])
+
+    def centered_norm(self, offset: int, length: int) -> float:
+        """L2 norm of the mean-subtracted window.
+
+        Computed as sqrt(Σx² − n·mean²); tiny negative intermediate
+        values from floating-point cancellation are clamped to zero.
+        """
+        total = self.window_sum(offset, length)
+        sq_total = self.window_sq_sum(offset, length)
+        centered_sq = sq_total - total * total / length
+        return float(np.sqrt(max(centered_sq, 0.0)))
+
+    def is_flat(self, offset: int, length: int) -> bool:
+        """Whether the window has (numerically) zero variance."""
+        return self.centered_norm(offset, length) < NORM_EPSILON
+
+    def normalized_correlation_with(
+        self,
+        window_centered: np.ndarray,
+        window_norm: float,
+        offset: int,
+    ) -> float:
+        """Normalised correlation against a precentred query window.
+
+        ``window_centered`` must already be mean-subtracted and
+        ``window_norm`` its L2 norm; this is the hot inner loop of
+        Algorithm 1, so the query-side statistics are computed once by
+        the caller.
+        """
+        length = window_centered.size
+        self._check_window(offset, length)
+        slice_norm = self.centered_norm(offset, length)
+        if slice_norm < NORM_EPSILON or window_norm < NORM_EPSILON:
+            return 0.0
+        segment = self._data[offset : offset + length]
+        # Window mean cancels against Σ window_centered = 0.
+        dot = float(np.dot(window_centered, segment))
+        value = dot / (window_norm * slice_norm)
+        return min(1.0, max(-1.0, value))

@@ -1,0 +1,103 @@
+"""Mongo-style filter matching for the embedded document store.
+
+Supports the operator subset the MDB layer (and tests) need:
+
+* comparison: ``$eq``, ``$ne``, ``$gt``, ``$gte``, ``$lt``, ``$lte``
+* membership: ``$in``, ``$nin``
+* existence: ``$exists``
+* logical: ``$and``, ``$or``, ``$not``
+* implicit equality: ``{"field": value}``
+* dotted paths: ``{"meta.label": "seizure"}``
+
+Comparison against a missing field never matches (except ``$exists`` /
+``$ne`` / ``$nin`` semantics, which follow MongoDB: ``$ne`` and
+``$nin`` match missing fields).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.errors import QueryError
+from repro.storage.documents import get_path
+
+
+def _compare(op: Callable[[Any, Any], bool], actual: Any, expected: Any) -> bool:
+    """Apply a comparison, treating cross-type comparisons as no-match."""
+    try:
+        return bool(op(actual, expected))
+    except TypeError:
+        return False
+
+
+_COMPARISONS: dict[str, Callable[[Any, Any], bool]] = {
+    "$eq": lambda a, b: a == b,
+    "$gt": lambda a, b: a > b,
+    "$gte": lambda a, b: a >= b,
+    "$lt": lambda a, b: a < b,
+    "$lte": lambda a, b: a <= b,
+}
+
+
+def _match_condition(found: bool, actual: Any, condition: Any) -> bool:
+    """Match one field's value against a condition (operator dict or literal)."""
+    if isinstance(condition, Mapping) and any(
+        isinstance(key, str) and key.startswith("$") for key in condition
+    ):
+        for op, operand in condition.items():
+            if op in _COMPARISONS:
+                if not found or not _compare(_COMPARISONS[op], actual, operand):
+                    return False
+            elif op == "$ne":
+                if found and actual == operand:
+                    return False
+            elif op == "$in":
+                if not isinstance(operand, Sequence) or isinstance(operand, str):
+                    raise QueryError(f"$in requires a sequence, got {operand!r}")
+                if not found or actual not in operand:
+                    return False
+            elif op == "$nin":
+                if not isinstance(operand, Sequence) or isinstance(operand, str):
+                    raise QueryError(f"$nin requires a sequence, got {operand!r}")
+                if found and actual in operand:
+                    return False
+            elif op == "$exists":
+                if not isinstance(operand, bool):
+                    raise QueryError(f"$exists requires a bool, got {operand!r}")
+                if found is not operand:
+                    return False
+            elif op == "$not":
+                if _match_condition(found, actual, operand):
+                    return False
+            else:
+                raise QueryError(f"unsupported query operator: {op}")
+        return True
+    # Literal equality.
+    return found and actual == condition
+
+
+def matches_filter(document: Mapping[str, Any], query: Mapping[str, Any]) -> bool:
+    """Whether ``document`` satisfies the Mongo-style ``query``.
+
+    An empty query matches every document.
+    """
+    if not isinstance(query, Mapping):
+        raise QueryError(f"query must be a mapping, got {type(query).__name__}")
+    for key, condition in query.items():
+        if key == "$and":
+            if not isinstance(condition, Sequence) or isinstance(condition, str):
+                raise QueryError("$and requires a list of sub-queries")
+            if not all(matches_filter(document, sub) for sub in condition):
+                return False
+        elif key == "$or":
+            if not isinstance(condition, Sequence) or isinstance(condition, str):
+                raise QueryError("$or requires a list of sub-queries")
+            if not any(matches_filter(document, sub) for sub in condition):
+                return False
+        elif key.startswith("$"):
+            raise QueryError(f"unsupported top-level operator: {key}")
+        else:
+            found, actual = get_path(document, key)
+            if not _match_condition(found, actual, condition):
+                return False
+    return True

@@ -1,0 +1,120 @@
+"""JSON-lines persistence for the embedded document store.
+
+Each collection is written as one ``.jsonl`` file (one document per
+line) plus a small ``manifest.json`` describing the store: collection
+names and their indexed fields.  Numpy arrays are converted to lists on
+save and restored as ``float64`` arrays on load for any field listed in
+the manifest's per-collection ``array_fields``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.storage.documents import ID_FIELD, ObjectId
+from repro.storage.store import Collection, DocumentStore
+
+_MANIFEST_NAME = "manifest.json"
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, ObjectId):
+        return {"$oid": value.value}
+    if isinstance(value, np.ndarray):
+        return {"$array": value.tolist()}
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, dict):
+        return {key: _encode_value(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_encode_value(item) for item in value]
+    return value
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        if set(value) == {"$oid"}:
+            return ObjectId(value["$oid"])
+        if set(value) == {"$array"}:
+            return np.asarray(value["$array"], dtype=np.float64)
+        return {key: _decode_value(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_decode_value(item) for item in value]
+    return value
+
+
+def save_store(store: DocumentStore, directory: str | Path) -> Path:
+    """Write a store to ``directory`` (created if needed); returns the path."""
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    manifest: dict[str, Any] = {"name": store.name, "collections": {}}
+    for name in store.collection_names:
+        collection = store.collection(name)
+        manifest["collections"][name] = {
+            "indexes": list(collection.indexed_fields),
+            "count": len(collection),
+        }
+        path = root / f"{name}.jsonl"
+        with path.open("w", encoding="utf-8") as handle:
+            for document in collection:
+                handle.write(json.dumps(_encode_value(document)) + "\n")
+    with (root / _MANIFEST_NAME).open("w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2)
+    return root
+
+
+def load_store(directory: str | Path) -> DocumentStore:
+    """Load a store previously written by :func:`save_store`."""
+    root = Path(directory)
+    manifest_path = root / _MANIFEST_NAME
+    if not manifest_path.exists():
+        raise StorageError(f"no store manifest found at {manifest_path}")
+    with manifest_path.open(encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    store = DocumentStore(manifest.get("name", "emap"))
+    for name, info in manifest.get("collections", {}).items():
+        collection = store.collection(name)
+        path = root / f"{name}.jsonl"
+        if not path.exists():
+            raise StorageError(f"manifest lists collection {name!r} but {path} is missing")
+        _load_collection(collection, path)
+        for field in info.get("indexes", []):
+            collection.create_index(field)
+        expected = info.get("count")
+        if expected is not None and expected != len(collection):
+            raise StorageError(
+                f"collection {name!r}: manifest says {expected} documents, "
+                f"file holds {len(collection)}"
+            )
+    return store
+
+
+def _load_collection(collection: Collection, path: Path) -> None:
+    with path.open(encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                raw = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise StorageError(
+                    f"{path}:{line_number}: invalid JSON document: {error}"
+                ) from error
+            document = _decode_value(raw)
+            if not isinstance(document, dict):
+                raise StorageError(
+                    f"{path}:{line_number}: expected an object, got "
+                    f"{type(document).__name__}"
+                )
+            document.setdefault(ID_FIELD, None)
+            if document[ID_FIELD] is None:
+                del document[ID_FIELD]
+            collection.insert_one(document)

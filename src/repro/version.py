@@ -1,0 +1,9 @@
+"""Version information for the EMAP reproduction package."""
+
+__version__ = "1.0.0"
+
+#: The paper this package reproduces.
+PAPER = (
+    "EMAP: A Cloud-Edge Hybrid Framework for EEG Monitoring and "
+    "Cross-Correlation Based Real-time Anomaly Prediction, DAC 2020"
+)

@@ -1,0 +1,44 @@
+"""Shared fixtures: one small MDB and canonical patient recordings.
+
+Session-scoped so the corpus build (the slowest setup step) happens
+once for the whole suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.registry import scaled_registry
+from repro.mdb.builder import MDBBuilder
+from repro.signals.anomalies import AnomalySpec, make_anomalous_signal
+from repro.signals.generator import EEGGenerator
+from repro.signals.types import AnomalyType
+
+
+@pytest.fixture(scope="session")
+def small_mdb():
+    """A ~200-slice MDB built from all five corpora."""
+    builder = MDBBuilder()
+    builder.build(scaled_registry(scale=0.15, seed=11, with_artifacts=False))
+    return builder.mdb
+
+
+@pytest.fixture(scope="session")
+def mdb_slices(small_mdb):
+    """The small MDB's slices as a plain list (search-engine input)."""
+    return list(small_mdb.slices())
+
+
+@pytest.fixture(scope="session")
+def seizure_recording():
+    """A 90 s seizure recording with onset at 80 s."""
+    spec = AnomalySpec(kind=AnomalyType.SEIZURE, onset_s=80.0, buildup_s=70.0)
+    return make_anomalous_signal(
+        EEGGenerator(seed=1234), 90.0, spec, source="test/seizure"
+    )
+
+
+@pytest.fixture(scope="session")
+def normal_recording():
+    """A 40 s normal recording."""
+    return EEGGenerator(seed=4321).record(40.0, source="test/normal")

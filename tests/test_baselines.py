@@ -1,0 +1,178 @@
+"""Unit tests for the five Table I baseline classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CrossCorrelationClassifier,
+    DeepLearningClassifier,
+    HyperdimensionalClassifier,
+    IoTSeizurePredictor,
+    SelfLearningClassifier,
+    windows_from_signals,
+)
+from repro.baselines.base import TrainingSet, balanced_subsample
+from repro.baselines.burrello_hd import lbp_codes
+from repro.baselines.features import (
+    FEATURE_NAMES,
+    extract_feature_matrix,
+    extract_features,
+    hjorth_parameters,
+    line_length,
+)
+from repro.baselines.mlp import MLP
+from repro.baselines.samie_iot import cheap_features
+from repro.datasets.base import SyntheticCorpus
+from repro.datasets.physionet_like import physionet_like_spec
+from repro.errors import EMAPError
+from repro.signals.filters import BandpassFilter
+
+ALL_CLASSIFIERS = [
+    IoTSeizurePredictor,
+    DeepLearningClassifier,
+    HyperdimensionalClassifier,
+    CrossCorrelationClassifier,
+    SelfLearningClassifier,
+]
+
+
+@pytest.fixture(scope="module")
+def seizure_windows():
+    """Balanced train/test windows from a small CHB-like corpus."""
+    corpus = SyntheticCorpus(
+        physionet_like_spec(n_records=10, record_duration_s=40.0), seed=17
+    )
+    bandpass = BandpassFilter()
+    signals = [bandpass.apply_signal(record) for record in corpus.records()]
+    dataset = windows_from_signals(signals)
+    train = balanced_subsample(dataset, per_class=60, seed=0)
+    test = balanced_subsample(dataset, per_class=40, seed=123)
+    return train, test
+
+
+class TestFeatures:
+    def test_vector_shape_and_names(self):
+        window = np.random.default_rng(0).standard_normal(256)
+        vector = extract_features(window)
+        assert vector.shape == (len(FEATURE_NAMES),)
+        assert np.all(np.isfinite(vector))
+
+    def test_line_length_scales_with_roughness(self):
+        smooth = np.sin(np.linspace(0, 4 * np.pi, 256))
+        rough = np.random.default_rng(1).standard_normal(256)
+        assert line_length(rough) > line_length(smooth)
+
+    def test_hjorth_flat_window(self):
+        assert hjorth_parameters(np.ones(64)) == (0.0, 0.0)
+
+    def test_matrix(self):
+        windows = np.random.default_rng(2).standard_normal((5, 256))
+        matrix = extract_feature_matrix(windows)
+        assert matrix.shape == (5, len(FEATURE_NAMES))
+
+    def test_rejects_short_window(self):
+        with pytest.raises(EMAPError, match=">= 8"):
+            extract_features(np.ones(4))
+
+    def test_cheap_features_o_n(self):
+        vector = cheap_features(np.random.default_rng(3).standard_normal(256))
+        assert vector.shape == (4,)
+        assert np.all(np.isfinite(vector))
+
+
+class TestTrainingSetPlumbing:
+    def test_windows_from_signals_labels(self, seizure_windows):
+        train, _ = seizure_windows
+        assert train.positive_fraction == pytest.approx(0.5)
+        assert train.windows.shape[1] == 256
+
+    def test_training_set_validation(self):
+        with pytest.raises(EMAPError, match="binary"):
+            TrainingSet(windows=np.ones((2, 10)), labels=np.array([0, 5]))
+        with pytest.raises(EMAPError, match="match"):
+            TrainingSet(windows=np.ones((2, 10)), labels=np.array([0]))
+
+    def test_balanced_subsample_deterministic(self, seizure_windows):
+        train, _ = seizure_windows
+        a = balanced_subsample(train, per_class=10, seed=1)
+        b = balanced_subsample(train, per_class=10, seed=1)
+        assert np.array_equal(a.windows, b.windows)
+
+    def test_balanced_subsample_missing_class(self):
+        dataset = TrainingSet(windows=np.ones((3, 16)), labels=np.zeros(3, dtype=int))
+        with pytest.raises(EMAPError, match="label 1"):
+            balanced_subsample(dataset, per_class=2)
+
+
+class TestMLP:
+    def test_learns_linearly_separable(self):
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal((200, 3))
+        y = (x[:, 0] + 0.5 * x[:, 1] > 0).astype(float)
+        model = MLP(hidden=(8,), epochs=300, seed=0).fit(x, y)
+        accuracy = float((model.predict(x) == y).mean())
+        assert accuracy > 0.95
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(EMAPError, match="fitted"):
+            MLP().predict_proba(np.ones(3))
+
+    def test_probabilities_bounded(self):
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal((50, 4))
+        y = (x[:, 0] > 0).astype(float)
+        model = MLP(epochs=50).fit(x, y)
+        probabilities = model.predict_proba(x)
+        assert np.all((probabilities >= 0) & (probabilities <= 1))
+
+    def test_single_sample_prediction(self):
+        rng = np.random.default_rng(6)
+        x = rng.standard_normal((50, 4))
+        y = (x[:, 0] > 0).astype(float)
+        model = MLP(epochs=50).fit(x, y)
+        assert isinstance(float(model.predict_proba(x[0])), float)
+
+
+class TestLBP:
+    def test_codes_in_range(self):
+        codes = lbp_codes(np.random.default_rng(7).standard_normal(100))
+        assert codes.min() >= 0
+        assert codes.max() < 64
+        assert codes.shape == (100 - 1 - 6 + 1,)
+
+    def test_monotone_rise_is_all_ones(self):
+        codes = lbp_codes(np.arange(20.0))
+        assert np.all(codes == 63)
+
+
+@pytest.mark.parametrize("factory", ALL_CLASSIFIERS)
+class TestClassifierContract:
+    def test_beats_chance_on_seizure_windows(self, factory, seizure_windows):
+        train, test = seizure_windows
+        classifier = factory().fit(train)
+        assert classifier.accuracy(test) > 0.6
+
+    def test_predict_window_returns_bool(self, factory, seizure_windows):
+        train, _ = seizure_windows
+        classifier = factory().fit(train)
+        decision = classifier.predict_window(train.windows[0])
+        assert isinstance(decision, (bool, np.bool_))
+
+    def test_predict_before_fit_raises(self, factory, seizure_windows):
+        train, _ = seizure_windows
+        classifier = factory()
+        with pytest.raises(EMAPError):
+            classifier.predict_window(train.windows[0])
+
+
+class TestSelfLearning:
+    def test_pseudo_labels_used(self, seizure_windows):
+        train, _ = seizure_windows
+        classifier = SelfLearningClassifier(seed_fraction=0.15).fit(train)
+        assert classifier.pseudo_labeled_count > 0
+
+    def test_validation(self):
+        with pytest.raises(EMAPError):
+            SelfLearningClassifier(seed_fraction=0.0)
+        with pytest.raises(EMAPError):
+            SelfLearningClassifier(confidence=0.4)

@@ -1,0 +1,103 @@
+"""Unit tests for the partitioned / parallel cloud search."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.parallel import ParallelSearch, merge_results, partition_slices
+from repro.cloud.results import SearchMatch, SearchResult
+from repro.cloud.search import SearchConfig, SlidingWindowSearch
+from repro.errors import SearchError
+from repro.eval.experiments.common import filtered_frame
+from repro.signals.types import AnomalyType, SignalSlice
+
+
+def _match(omega, slice_id="s"):
+    return SearchMatch(
+        sig_slice=SignalSlice(
+            data=np.ones(300), label=AnomalyType.NONE, slice_id=slice_id
+        ),
+        omega=omega,
+        offset=0,
+    )
+
+
+class TestPartition:
+    def test_balanced_and_complete(self, mdb_slices):
+        chunks = partition_slices(mdb_slices, 4)
+        assert len(chunks) == 4
+        sizes = [len(chunk) for chunk in chunks]
+        assert max(sizes) - min(sizes) <= 1
+        assert sum(sizes) == len(mdb_slices)
+
+    def test_more_chunks_than_slices(self, mdb_slices):
+        chunks = partition_slices(mdb_slices[:3], 10)
+        assert len(chunks) == 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(SearchError, match="empty"):
+            partition_slices([], 2)
+
+    def test_rejects_bad_count(self, mdb_slices):
+        with pytest.raises(SearchError, match="chunk count"):
+            partition_slices(mdb_slices, 0)
+
+
+class TestMerge:
+    def test_global_top_k(self):
+        a = SearchResult(matches=[_match(0.9, "a"), _match(0.7, "b")])
+        a.correlations_evaluated = 10
+        b = SearchResult(matches=[_match(0.95, "c"), _match(0.6, "d")])
+        b.correlations_evaluated = 20
+        merged = merge_results([a, b], top_k=3)
+        assert [m.omega for m in merged.matches] == [0.95, 0.9, 0.7]
+        assert merged.correlations_evaluated == 30
+
+    def test_rejects_bad_top_k(self):
+        with pytest.raises(SearchError, match="top_k"):
+            merge_results([], 0)
+
+
+class TestParallelSearch:
+    def _key(self, result):
+        return sorted(
+            (round(m.omega, 10), m.sig_slice.slice_id, m.offset)
+            for m in result.matches
+        )
+
+    def test_chunked_equals_single_engine(self, mdb_slices, seizure_recording):
+        frame = filtered_frame(seizure_recording, 84)
+        single = SlidingWindowSearch(SearchConfig(), precompute=True).search(
+            frame, mdb_slices
+        )
+        chunked = ParallelSearch(SearchConfig(), n_chunks=5).search(
+            frame, mdb_slices
+        )
+        assert self._key(chunked) == self._key(single)
+        assert chunked.correlations_evaluated == single.correlations_evaluated
+        assert chunked.slices_searched == single.slices_searched
+
+    def test_single_chunk_degenerate(self, mdb_slices, seizure_recording):
+        frame = filtered_frame(seizure_recording, 84)
+        single = SlidingWindowSearch(SearchConfig(), precompute=True).search(
+            frame, mdb_slices
+        )
+        chunked = ParallelSearch(SearchConfig(), n_chunks=1).search(
+            frame, mdb_slices
+        )
+        assert self._key(chunked) == self._key(single)
+
+    def test_process_pool_equals_serial(self, mdb_slices, seizure_recording):
+        frame = filtered_frame(seizure_recording, 84)
+        serial = ParallelSearch(SearchConfig(), n_chunks=4, n_workers=1).search(
+            frame, mdb_slices[:80]
+        )
+        pooled = ParallelSearch(SearchConfig(), n_chunks=4, n_workers=2).search(
+            frame, mdb_slices[:80]
+        )
+        assert self._key(pooled) == self._key(serial)
+
+    def test_validation(self):
+        with pytest.raises(SearchError):
+            ParallelSearch(n_chunks=0)
+        with pytest.raises(SearchError):
+            ParallelSearch(n_workers=0)

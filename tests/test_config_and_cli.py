@@ -1,0 +1,80 @@
+"""Tests for the pipeline factory and the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.config import PipelineConfig, build_pipeline
+from repro.errors import ConfigurationError
+from repro.signals.generator import EEGGenerator
+
+
+class TestPipelineConfig:
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ConfigurationError, match="scale"):
+            PipelineConfig(mdb_scale=0.0)
+
+
+class TestBuildPipeline:
+    def test_assembles_whole_stack(self):
+        pipeline = build_pipeline(
+            PipelineConfig(mdb_scale=0.05, with_artifacts=False)
+        )
+        assert len(pipeline.mdb) > 0
+        assert pipeline.cloud.n_slices == len(pipeline.mdb)
+        assert pipeline.build_report.slices_inserted == len(pipeline.mdb)
+
+    def test_end_to_end_session(self):
+        pipeline = build_pipeline(
+            PipelineConfig(mdb_scale=0.05, with_artifacts=False)
+        )
+        session = pipeline.framework.run(EEGGenerator(seed=5).record(10.0))
+        assert session.iterations > 0
+
+    def test_platform_selection(self):
+        pipeline = build_pipeline(
+            PipelineConfig(mdb_scale=0.05, with_artifacts=False, platform="LTE-A")
+        )
+        assert pipeline.cloud.timing.link.platform.name == "LTE-A"
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "fig10" in output
+        assert "table1" in output
+
+    def test_fig4(self, capsys):
+        assert main(["fig4"]) == 0
+        assert "Fig. 4" in capsys.readouterr().out
+
+    def test_fig2_small(self, capsys):
+        assert main(["fig2", "--mdb-scale", "0.1"]) == 0
+        assert "PA" in capsys.readouterr().out
+
+    def test_monitor_normal(self, capsys):
+        assert (
+            main(
+                [
+                    "monitor",
+                    "--kind",
+                    "none",
+                    "--duration",
+                    "8",
+                    "--mdb-scale",
+                    "0.05",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "anomaly predicted" in output
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0

@@ -1,0 +1,70 @@
+"""Unit tests for corpus EDF export / ingest."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import SyntheticCorpus
+from repro.datasets.export import (
+    export_corpus,
+    ingest_edf_directory,
+    iter_edf_directory,
+)
+from repro.datasets.physionet_like import physionet_like_spec
+from repro.errors import DatasetError
+from repro.mdb.builder import MDBBuilder
+from repro.signals.types import AnomalyType
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    spec = physionet_like_spec(n_records=4, record_duration_s=20.0)
+    from dataclasses import replace
+
+    return SyntheticCorpus(replace(spec, with_artifacts=False), seed=9)
+
+
+class TestExport:
+    def test_one_file_per_record(self, corpus, tmp_path):
+        paths = export_corpus(corpus, tmp_path / "edf")
+        assert len(paths) == 4
+        assert all(path.suffix == ".sedf" for path in paths)
+
+    def test_round_trip_preserves_labels_and_onsets(self, corpus, tmp_path):
+        export_corpus(corpus, tmp_path / "edf")
+        loaded = list(iter_edf_directory(tmp_path / "edf"))
+        assert len(loaded) == 4
+        originals = list(corpus.records())
+        for original, restored in zip(originals, loaded):
+            assert restored.label is original.label
+            assert restored.sample_rate_hz == original.sample_rate_hz
+            assert restored.onset_sample == original.onset_sample
+            # int16 quantisation: small relative error.
+            peak = np.abs(original.data).max()
+            assert np.abs(restored.data - original.data).max() <= peak / 32000
+
+    def test_ingest_builds_mdb(self, corpus, tmp_path):
+        export_corpus(corpus, tmp_path / "edf")
+        builder = MDBBuilder()
+        report = ingest_edf_directory(builder, tmp_path / "edf")
+        assert report.records_ingested == 4
+        assert report.slices_inserted == len(builder.mdb)
+        assert builder.mdb.count(AnomalyType.SEIZURE) > 0
+
+    def test_ingest_close_to_direct_build(self, corpus, tmp_path):
+        """EDF round trip must not change labels or slice counts."""
+        direct = MDBBuilder()
+        for record in corpus.records():
+            direct.ingest_record(record)
+        export_corpus(corpus, tmp_path / "edf")
+        via_edf = MDBBuilder()
+        ingest_edf_directory(via_edf, tmp_path / "edf")
+        assert len(via_edf.mdb) == len(direct.mdb)
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(DatasetError, match="no such"):
+            list(iter_edf_directory(tmp_path / "ghost"))
+
+    def test_empty_directory(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(DatasetError, match="no .sedf"):
+            list(iter_edf_directory(tmp_path / "empty"))

@@ -1,0 +1,129 @@
+"""Unit tests for signal acquisition and the edge device facade."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.results import SearchMatch, SearchResult
+from repro.edge.acquisition import SignalAcquisition
+from repro.edge.device import CloudCallPolicy, EdgeDevice
+from repro.errors import SignalError, TrackingError
+from repro.signals.filters import BandpassFilter
+from repro.signals.generator import EEGGenerator
+from repro.signals.types import FRAME_SAMPLES, AnomalyType, Signal, SignalSlice
+
+
+class TestSignalAcquisition:
+    def test_frames_match_one_shot_filter(self):
+        recording = EEGGenerator(seed=0).record(4.0)
+        acquisition = SignalAcquisition(recording)
+        frames = [acquisition.next_frame() for _ in range(4)]
+        concatenated = np.concatenate([frame.data for frame in frames])
+        one_shot = BandpassFilter().apply(recording.data)
+        assert np.allclose(concatenated, one_shot)
+
+    def test_frame_indices_sequential(self):
+        recording = EEGGenerator(seed=1).record(3.0)
+        acquisition = SignalAcquisition(recording)
+        indices = [frame.index for frame in acquisition]
+        assert indices == [0, 1, 2]
+
+    def test_exhaustion_returns_none(self):
+        recording = EEGGenerator(seed=2).record(1.0)
+        acquisition = SignalAcquisition(recording)
+        assert acquisition.next_frame() is not None
+        assert acquisition.next_frame() is None
+
+    def test_frames_available(self):
+        recording = EEGGenerator(seed=3).record(2.5)
+        acquisition = SignalAcquisition(recording)
+        assert acquisition.frames_available == 2
+        acquisition.next_frame()
+        assert acquisition.frames_available == 1
+
+    def test_reset(self):
+        recording = EEGGenerator(seed=4).record(2.0)
+        acquisition = SignalAcquisition(recording)
+        first = acquisition.next_frame()
+        acquisition.reset()
+        again = acquisition.next_frame()
+        assert np.allclose(first.data, again.data)
+        assert acquisition.frames_emitted == 1
+
+    def test_rejects_foreign_rate(self):
+        sig = Signal(data=np.ones(1000), sample_rate_hz=512.0)
+        with pytest.raises(SignalError, match="resample first"):
+            SignalAcquisition(sig)
+
+    def test_frames_marked_filtered(self):
+        recording = EEGGenerator(seed=5).record(1.0)
+        frame = SignalAcquisition(recording).next_frame()
+        assert frame.filtered
+        assert len(frame) == FRAME_SAMPLES
+
+
+class TestCloudCallPolicy:
+    def test_threshold_trigger(self):
+        policy = CloudCallPolicy(tracking_threshold=20, refresh_interval=5)
+        assert policy.should_call(tracked_count=19, iterations_since_refresh=0)
+        assert not policy.should_call(tracked_count=20, iterations_since_refresh=1)
+
+    def test_interval_trigger(self):
+        policy = CloudCallPolicy(tracking_threshold=20, refresh_interval=5)
+        assert policy.should_call(tracked_count=100, iterations_since_refresh=5)
+        assert not policy.should_call(tracked_count=100, iterations_since_refresh=4)
+
+    def test_validation(self):
+        with pytest.raises(TrackingError):
+            CloudCallPolicy(tracking_threshold=-1)
+        with pytest.raises(TrackingError):
+            CloudCallPolicy(refresh_interval=0)
+
+
+class TestEdgeDevice:
+    def _search_result(self, rng, frame, n=30):
+        matches = []
+        for i in range(n):
+            series = rng.standard_normal(1000) * 0.1
+            series[0:256] = frame + rng.standard_normal(256) * 0.02
+            label = AnomalyType.SEIZURE if i % 3 == 0 else AnomalyType.NONE
+            matches.append(
+                SearchMatch(
+                    sig_slice=SignalSlice(data=series, label=label, slice_id=f"m{i}"),
+                    omega=0.95,
+                    offset=0,
+                )
+            )
+        return SearchResult(matches=matches)
+
+    def test_track_updates_predictor_and_counters(self):
+        rng = np.random.default_rng(6)
+        recording = EEGGenerator(seed=6).record(5.0)
+        device = EdgeDevice(recording)
+        frame = device.acquire()
+        device.adopt_correlation_set(self._search_result(rng, frame.data))
+        step = device.track(device.acquire())
+        assert device.iterations_since_refresh == 1
+        assert len(device.predictor.trace) == 1
+        assert step.tracked_before == 30
+
+    def test_wants_cloud_call_after_interval(self):
+        rng = np.random.default_rng(7)
+        recording = EEGGenerator(seed=7).record(10.0)
+        device = EdgeDevice(
+            recording, policy=CloudCallPolicy(tracking_threshold=0, refresh_interval=3)
+        )
+        frame = device.acquire()
+        device.adopt_correlation_set(self._search_result(rng, frame.data))
+        for _ in range(2):
+            device.track(device.acquire())
+            assert not device.wants_cloud_call()
+        device.track(device.acquire())
+        assert device.wants_cloud_call()
+
+    def test_request_resets_interval_counter(self):
+        recording = EEGGenerator(seed=8).record(3.0)
+        device = EdgeDevice(recording)
+        device.iterations_since_refresh = 4
+        device.request_cloud_call()
+        assert device.iterations_since_refresh == 0
+        assert device.cloud_calls_requested == 1

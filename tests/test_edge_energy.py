@@ -1,0 +1,64 @@
+"""Unit tests for the edge energy model (extension)."""
+
+import pytest
+
+from repro.edge.energy import EdgeEnergyModel, EnergySpec
+from repro.errors import FrameworkError
+
+
+class TestEnergySpec:
+    def test_defaults_valid(self):
+        EnergySpec()
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(FrameworkError):
+            EnergySpec(area_eval_nj=0.0)
+        with pytest.raises(FrameworkError):
+            EnergySpec(battery_mwh=-1.0)
+
+
+class TestEdgeEnergyModel:
+    def test_xcorr_tracking_costs_more(self):
+        model = EdgeEnergyModel()
+        area = model.tracking_iteration_mj(18700, use_xcorr=False)
+        xcorr = model.tracking_iteration_mj(18700, use_xcorr=True)
+        assert xcorr / area == pytest.approx(4.3)
+
+    def test_session_breakdown_sums(self):
+        model = EdgeEnergyModel()
+        session = model.session_energy(
+            iterations=60,
+            area_evaluations_per_iteration=18700,
+            cloud_calls=12,
+        )
+        assert session.total_mj == pytest.approx(
+            session.tracking_mj
+            + session.uplink_mj
+            + session.downlink_mj
+            + session.idle_mj
+        )
+        assert session.tracking_mj > 0
+        assert session.downlink_mj > session.uplink_mj  # 100 slices >> 1 frame
+
+    def test_battery_life_reasonable(self):
+        """A wearable cell should last hours, not seconds or years."""
+        model = EdgeEnergyModel()
+        hours = model.battery_life_hours(
+            area_evaluations_per_iteration=18700, cloud_calls_per_hour=720
+        )
+        assert 1.0 < hours < 1000.0
+
+    def test_fewer_calls_longer_life(self):
+        model = EdgeEnergyModel()
+        busy = model.battery_life_hours(18700, cloud_calls_per_hour=1800)
+        calm = model.battery_life_hours(18700, cloud_calls_per_hour=60)
+        assert calm > busy
+
+    def test_validation(self):
+        model = EdgeEnergyModel()
+        with pytest.raises(FrameworkError):
+            model.tracking_iteration_mj(-1)
+        with pytest.raises(FrameworkError):
+            model.session_energy(-1, 10, 0)
+        with pytest.raises(FrameworkError):
+            model.battery_life_hours(100, cloud_calls_per_hour=-5)

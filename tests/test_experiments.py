@@ -1,0 +1,202 @@
+"""Integration tests: every paper experiment runs and has the right shape.
+
+These use reduced workloads; the full-scale reproductions live in
+``benchmarks/`` and their outcomes in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.eval.batches import BatchSpec
+from repro.eval.experiments import (
+    fig2_motivation,
+    fig4_transmission,
+    fig7_alpha_sweep,
+    fig8_threshold,
+    fig9_timeline,
+    fig10_seizure_accuracy,
+    fig11_search_quality,
+    table1_accuracy,
+)
+from repro.eval.experiments.common import (
+    build_fixture,
+    filtered_frame,
+    sustained_prediction_iteration,
+)
+from repro.errors import EMAPError
+from repro.signals.generator import EEGGenerator
+
+
+@pytest.fixture(scope="module")
+def fixture():
+    return build_fixture(mdb_scale=0.15, seed=11)
+
+
+class TestCommon:
+    def test_filtered_frame_bounds(self):
+        recording = EEGGenerator(seed=0).record(3.0)
+        frame = filtered_frame(recording, 2)
+        assert frame.shape == (256,)
+        with pytest.raises(EMAPError, match="second"):
+            filtered_frame(recording, 3)
+
+    def test_sustained_prediction(self):
+        assert sustained_prediction_iteration([False, True, True, True]) == 1
+        assert sustained_prediction_iteration([True, False, True, False]) is None
+        assert sustained_prediction_iteration([True], run_length=1) == 0
+
+
+class TestFig2(object):
+    def test_pa_rises_and_set_shrinks(self, fixture):
+        result = fig2_motivation.run(fixture, n_iterations=5)
+        assert len(result.anomaly_probability) == 6
+        # Paper's claim: PA increases with iterations (weakly monotone here).
+        assert result.anomaly_probability[-1] > result.anomaly_probability[0]
+        totals = [
+            normal + anomalous
+            for normal, anomalous in zip(
+                result.normal_tracked, result.anomalous_tracked
+            )
+        ]
+        assert totals[-1] < totals[0]
+        assert "PA" in result.report()
+
+
+class TestFig4:
+    def test_budgets_and_ordering(self):
+        result = fig4_transmission.run()
+        assert "LTE" in result.platforms_meeting_upload_budget()
+        assert "HSPA" not in result.platforms_meeting_download_budget()
+        # Upload times grow with the sample count on every platform.
+        for series in result.upload_us.values():
+            assert series == sorted(series)
+        assert "Fig. 4" in result.report()
+
+
+class TestFig7:
+    def test_alpha_sweep_shape(self, fixture):
+        result = fig7_alpha_sweep.run_alpha_sweep(
+            fixture, alphas=(0.002, 0.004, 0.01)
+        )
+        assert len(result.alphas) == 3
+        # Larger alpha -> fewer correlations evaluated.
+        assert result.correlations_evaluated[0] > result.correlations_evaluated[-1]
+        assert all(0.0 <= omega <= 1.0 for omega in result.mean_top_omega)
+
+    def test_scaling_speedup(self, fixture):
+        result = fig7_alpha_sweep.run_scaling(fixture, db_sizes=(200, 400))
+        assert result.mean_correlation_reduction > 3.0
+        assert result.mean_speedup > 1.5
+        # Times grow with database size for both engines.
+        assert result.exhaustive_time_s[1] > result.exhaustive_time_s[0]
+        assert "6.8x" in result.report()
+
+
+class TestFig8:
+    def test_threshold_equivalence(self, fixture):
+        result = fig8_threshold.run_threshold_equivalence(fixture)
+        # Matches decrease as delta tightens.
+        assert result.delta_matches == sorted(result.delta_matches, reverse=True)
+        # Matches increase as the area threshold loosens.
+        assert result.area_matches == sorted(result.area_matches)
+        equivalent = result.equivalent_area_threshold(0.8)
+        assert 600.0 <= equivalent <= 1200.0  # paper: ~900
+
+    def test_tracking_cost(self, fixture):
+        result = fig8_threshold.run_tracking_cost(
+            fixture, tracked_counts=(20, 40), repeats=1
+        )
+        assert result.model_speedup == pytest.approx(4.3, abs=0.01)
+        assert result.area_model_ms[1] > result.area_model_ms[0]
+        assert all(ms > 0 for ms in result.area_measured_ms)
+
+
+class TestFig9:
+    def test_timing_quantities(self, fixture):
+        result = fig9_timeline.run(fixture, duration_s=30.0)
+        assert result.initial_latency_s > 0
+        assert result.upload_s < 1e-3
+        assert result.download_s < 0.2
+        assert result.tracking_meets_realtime
+        assert result.cloud_calls >= 1
+        assert result.timeline
+        assert "Δinitial" in result.report() or "initial" in result.report()
+
+
+class TestFig10:
+    def test_accuracy_matrix(self, fixture):
+        shape = BatchSpec(n_batches=1, batch_size=2)
+        result = fig10_seizure_accuracy.run(
+            fixture, batch_spec=shape, horizons_s=(15, 60), with_baseline=False
+        )
+        assert result.batch_names == ["B1"]
+        for horizon in (15, 60):
+            assert 0.0 <= result.accuracy["B1"][horizon] <= 1.0
+        # Shorter horizons can only be easier.
+        assert result.accuracy["B1"][15] >= result.accuracy["B1"][60]
+        assert 0.0 <= result.overall_accuracy <= 1.0
+
+    def test_horizon_must_fit(self, fixture):
+        with pytest.raises(EMAPError, match="horizon"):
+            fig10_seizure_accuracy.run(
+                fixture,
+                batch_spec=BatchSpec(onset_s=100.0, duration_s=110.0),
+                horizons_s=(150,),
+            )
+
+
+class TestFig11:
+    def test_quality_gap_small(self, fixture):
+        result = fig11_search_quality.run(fixture, n_inputs_per_class=4)
+        assert len(result.normal_exhaustive) == 4
+        assert result.mean_gap < 0.15
+        # Exhaustive is an upper bound on top-set quality.
+        for exhaustive, algorithm1 in zip(
+            result.normal_exhaustive, result.normal_algorithm1
+        ):
+            assert exhaustive >= algorithm1 - 1e-9
+
+
+class TestSensitivity:
+    def test_sweep_shape(self, fixture):
+        from repro.eval.experiments import sensitivity
+
+        result = sensitivity.run(
+            fixture, amplitudes_uv=(40.0, 210.0), n_inputs=2, duration_s=25.0
+        )
+        assert len(result.amplitudes_uv) == 2
+        assert all(0.0 <= rate <= 1.0 for rate in result.detection_rate)
+        assert result.detection_rate[-1] >= result.detection_rate[0]
+        assert "knee" in result.report()
+
+    def test_validation(self, fixture):
+        from repro.eval.experiments import sensitivity
+        from repro.signals.types import AnomalyType
+
+        with pytest.raises(EMAPError, match="anomalous"):
+            sensitivity.run(fixture, kind=AnomalyType.NONE)
+        with pytest.raises(EMAPError, match="amplitude"):
+            sensitivity.run(fixture, amplitudes_uv=())
+
+
+class TestTable1:
+    def test_emap_columns(self, fixture):
+        shape = BatchSpec(n_batches=1, batch_size=2)
+        result = table1_accuracy.run(
+            fixture,
+            batch_spec=shape,
+            with_baselines=False,
+            with_false_positive_rate=True,
+            n_normal_inputs=2,
+        )
+        assert set(result.emap_accuracy) == {"seizure", "encephalopathy", "stroke"}
+        for anomaly in result.emap_accuracy:
+            assert 0.0 <= result.mean_accuracy(anomaly) <= 1.0
+        assert 0.0 <= result.false_positive_rate <= 1.0
+        assert "N.A." in result.report()
+
+    def test_baselines_scored(self):
+        scores = table1_accuracy.run_baselines(
+            seed=0, n_records=6, train_per_class=30, test_per_class=20
+        )
+        assert len(scores) == 5
+        assert all(0.0 <= value <= 1.0 for value in scores.values())

@@ -1,0 +1,53 @@
+"""Unit tests for MDB composition statistics."""
+
+import pytest
+
+from repro.errors import MDBError
+from repro.mdb.mdb import MegaDatabase
+from repro.mdb.stats import composition_report, describe
+
+
+class TestDescribe:
+    def test_profile_totals(self, small_mdb):
+        profile = describe(small_mdb)
+        assert profile.total_slices == len(small_mdb)
+        assert sum(profile.label_counts.values()) == profile.total_slices
+        assert sum(profile.dataset_counts.values()) == profile.total_slices
+
+    def test_anomalous_fraction_matches_mdb(self, small_mdb):
+        profile = describe(small_mdb)
+        assert profile.anomalous_fraction == pytest.approx(
+            small_mdb.anomalous_fraction()
+        )
+
+    def test_slice_lengths_uniform(self, small_mdb):
+        profile = describe(small_mdb)
+        assert profile.is_length_uniform
+        assert profile.slice_lengths == {1000}
+
+    def test_rms_statistics_sane(self, small_mdb):
+        profile = describe(small_mdb)
+        # Bandpass-filtered µV EEG: RMS in the single-to-tens range.
+        assert 1.0 < profile.mean_rms_uv < 100.0
+        assert profile.rms_spread_uv > 0.0
+
+    def test_per_dataset_anomalous_bounded(self, small_mdb):
+        profile = describe(small_mdb)
+        for dataset, anomalous in profile.dataset_anomalous.items():
+            assert anomalous <= profile.dataset_counts[dataset]
+        # BNCI is all-normal by construction.
+        assert profile.dataset_anomalous.get("bnci-horizon", 0) == 0
+
+    def test_empty_mdb_rejected(self):
+        with pytest.raises(MDBError, match="empty"):
+            describe(MegaDatabase())
+
+
+class TestReport:
+    def test_report_contains_all_datasets(self, small_mdb):
+        profile = describe(small_mdb)
+        report = composition_report(profile)
+        for dataset in profile.dataset_counts:
+            assert dataset in report
+        assert "anomalous fraction" in report
+        assert "uniform slice length: True" in report

@@ -1,0 +1,96 @@
+"""Unit tests for the network substrate (Fig. 4 models)."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.network.link import (
+    DOWNLOAD_BUDGET_S,
+    UPLOAD_BUDGET_S,
+    NetworkLink,
+)
+from repro.network.payload import (
+    MESSAGE_OVERHEAD_BITS,
+    SAMPLE_BITS,
+    frame_payload_bits,
+    signal_set_payload_bits,
+)
+from repro.network.platforms import (
+    PLATFORMS,
+    CommunicationPlatform,
+    get_platform,
+    platform_names,
+)
+
+
+class TestPlatforms:
+    def test_six_platforms(self):
+        assert len(PLATFORMS) == 6
+        assert "LTE-A" in platform_names()
+
+    def test_lookup(self):
+        assert get_platform("LTE").name == "LTE"
+        with pytest.raises(NetworkError, match="unknown platform"):
+            get_platform("5G")
+
+    def test_ordering_slow_to_fast_uplink(self):
+        uplinks = [get_platform(name).uplink_mbps for name in platform_names()]
+        assert uplinks == sorted(uplinks)
+
+    def test_validation(self):
+        with pytest.raises(NetworkError, match="rates"):
+            CommunicationPlatform("bad", uplink_mbps=0.0, downlink_mbps=1.0)
+        with pytest.raises(NetworkError, match="latency"):
+            CommunicationPlatform("bad", 1.0, 1.0, setup_latency_s=-1.0)
+
+
+class TestPayloads:
+    def test_frame_payload_16_bit(self):
+        assert frame_payload_bits(256) == 256 * SAMPLE_BITS + MESSAGE_OVERHEAD_BITS
+
+    def test_signal_set_payload_scales(self):
+        one = signal_set_payload_bits(1)
+        hundred = signal_set_payload_bits(100)
+        assert hundred > 99 * (one - MESSAGE_OVERHEAD_BITS)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(NetworkError):
+            frame_payload_bits(0)
+        with pytest.raises(NetworkError):
+            signal_set_payload_bits(-5)
+
+
+class TestNetworkLink:
+    def test_upload_time_inversely_proportional_to_rate(self):
+        slow = NetworkLink.for_platform("HSPA").frame_upload_time_s(256)
+        fast = NetworkLink.for_platform("LTE-A").frame_upload_time_s(256)
+        assert slow > fast
+
+    def test_paper_upload_budget(self):
+        """256 samples must upload under 1 ms on 4G-class links (Fig. 4a)."""
+        assert NetworkLink.for_platform("LTE").meets_upload_budget(256)
+        assert NetworkLink.for_platform("LTE-A").meets_upload_budget(256)
+        assert not NetworkLink.for_platform("HSPA").meets_upload_budget(256)
+
+    def test_paper_download_budget(self):
+        """100 signal-sets must download under 200 ms (Fig. 4b)."""
+        assert NetworkLink.for_platform("LTE").meets_download_budget(100)
+        assert not NetworkLink.for_platform("HSPA").meets_download_budget(100)
+
+    def test_budget_constants_match_paper(self):
+        assert UPLOAD_BUDGET_S == pytest.approx(1e-3)
+        assert DOWNLOAD_BUDGET_S == pytest.approx(0.2)
+
+    def test_monotonic_in_payload(self):
+        link = NetworkLink.for_platform("LTE")
+        times = [link.signal_set_download_time_s(n) for n in (10, 50, 100, 400)]
+        assert times == sorted(times)
+
+    def test_setup_latency_added(self):
+        platform = CommunicationPlatform("lab", 10.0, 10.0, setup_latency_s=0.5)
+        link = NetworkLink(platform)
+        assert link.upload_time_s(1000) > 0.5
+
+    def test_rejects_empty_payload(self):
+        link = NetworkLink.for_platform("LTE")
+        with pytest.raises(NetworkError, match="payload"):
+            link.upload_time_s(0)

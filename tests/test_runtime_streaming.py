@@ -1,0 +1,101 @@
+"""Unit tests for the streaming (push-based) monitor."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.server import CloudServer
+from repro.errors import SignalError
+from repro.runtime.streaming import StreamingConfig, StreamingMonitor
+from repro.signals.anomalies import AnomalySpec, make_anomalous_signal
+from repro.signals.generator import EEGGenerator
+from repro.signals.types import AnomalyType
+
+
+@pytest.fixture
+def monitor(mdb_slices):
+    return StreamingMonitor(CloudServer(mdb_slices))
+
+
+class TestPushMechanics:
+    def test_partial_chunks_buffer(self, monitor):
+        recording = EEGGenerator(seed=0).record(2.0)
+        # Push in odd-sized chunks; two frames total.
+        updates = []
+        for start in range(0, 512, 100):
+            updates.extend(monitor.push(recording.data[start : start + 100]))
+        assert [update.frame_index for update in updates] == [0, 1]
+
+    def test_one_update_per_frame(self, monitor):
+        recording = EEGGenerator(seed=1).record(5.0)
+        updates = monitor.push(recording.data)
+        assert len(updates) == 5
+        assert [u.frame_index for u in updates] == list(range(5))
+        assert updates[-1].time_s == pytest.approx(5.0)
+
+    def test_empty_chunk_noop(self, monitor):
+        assert monitor.push(np.array([])) == []
+
+    def test_rejects_2d(self, monitor):
+        with pytest.raises(SignalError, match="1-D"):
+            monitor.push(np.zeros((2, 10)))
+
+    def test_first_frame_issues_cloud_call(self, monitor):
+        recording = EEGGenerator(seed=2).record(1.0)
+        updates = monitor.push(recording.data)
+        assert updates[0].cloud_call_issued
+        assert monitor.cloud_calls == 1
+
+    def test_latency_gap_before_tracking(self, mdb_slices):
+        monitor = StreamingMonitor(
+            CloudServer(mdb_slices), StreamingConfig(cloud_latency_frames=2)
+        )
+        recording = EEGGenerator(seed=3).record(6.0)
+        updates = monitor.push(recording.data)
+        # Frames 0-2 have no adopted set yet; tracking starts at frame 3.
+        assert updates[0].tracked_count == 0
+        assert updates[3].tracked_count > 0
+
+    def test_reset_starts_fresh_session(self, monitor):
+        recording = EEGGenerator(seed=4).record(3.0)
+        first = monitor.push(recording.data)
+        monitor.reset()
+        assert monitor.cloud_calls == 0
+        second = monitor.push(recording.data)
+        assert [u.anomaly_probability for u in first] == [
+            u.anomaly_probability for u in second
+        ]
+
+
+class TestStreamingDetection:
+    def test_seizure_detected_online(self, mdb_slices):
+        monitor = StreamingMonitor(CloudServer(mdb_slices))
+        spec = AnomalySpec(kind=AnomalyType.SEIZURE, onset_s=40.0, buildup_s=30.0)
+        patient = make_anomalous_signal(EEGGenerator(seed=5), 50.0, spec)
+        # Simulate live delivery in 0.25 s chunks.
+        flagged = False
+        for start in range(0, len(patient.data), 64):
+            for update in monitor.push(patient.data[start : start + 64]):
+                if update.anomaly_predicted:
+                    flagged = True
+        assert flagged
+
+    def test_normal_stays_quiet_online(self, mdb_slices):
+        monitor = StreamingMonitor(CloudServer(mdb_slices))
+        recording = EEGGenerator(seed=6).record(30.0)
+        updates = monitor.push(recording.data)
+        assert not any(update.anomaly_predicted for update in updates)
+        assert max(update.anomaly_probability for update in updates) < 0.4
+
+    def test_chunking_does_not_change_trace(self, mdb_slices):
+        """Same samples, different chunk sizes, identical PA trace."""
+        recording = EEGGenerator(seed=7).record(12.0)
+        traces = []
+        for chunk_size in (64, 256, 1000):
+            monitor = StreamingMonitor(CloudServer(mdb_slices))
+            updates = []
+            for start in range(0, len(recording.data), chunk_size):
+                updates.extend(
+                    monitor.push(recording.data[start : start + chunk_size])
+                )
+            traces.append([update.anomaly_probability for update in updates])
+        assert traces[0] == traces[1] == traces[2]

@@ -1,0 +1,153 @@
+"""Unit tests for the anomaly morphology injectors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SignalError
+from repro.signals.anomalies import (
+    DEFAULT_RATES_HZ,
+    AnomalySpec,
+    inject_anomaly,
+    make_anomalous_signal,
+    pled_template,
+    spike_wave_template,
+    transient_template,
+    triphasic_template,
+)
+from repro.signals.generator import EEGGenerator
+from repro.signals.types import AnomalyType
+
+
+class TestAnomalySpec:
+    def test_rejects_normal_kind(self):
+        with pytest.raises(SignalError, match="anomalous kind"):
+            AnomalySpec(kind=AnomalyType.NONE)
+
+    def test_rejects_negative_onset(self):
+        with pytest.raises(SignalError, match="onset"):
+            AnomalySpec(kind=AnomalyType.SEIZURE, onset_s=-1.0)
+
+    def test_class_default_rates(self):
+        for kind, rate in DEFAULT_RATES_HZ.items():
+            assert AnomalySpec(kind=kind).effective_rate_hz() == rate
+
+    def test_rate_override(self):
+        spec = AnomalySpec(kind=AnomalyType.SEIZURE, rate_hz=5.0)
+        assert spec.effective_rate_hz() == 5.0
+
+    def test_amplitude_and_attenuation_defaults(self):
+        spec = AnomalySpec(kind=AnomalyType.STROKE)
+        assert spec.effective_amplitude_uv() > 0
+        assert 0 < spec.effective_attenuation() < 1
+
+    def test_rejects_bad_label_fraction(self):
+        with pytest.raises(SignalError, match="label fraction"):
+            AnomalySpec(kind=AnomalyType.SEIZURE, label_fraction=0.0)
+
+
+class TestTemplates:
+    @pytest.mark.parametrize(
+        "factory", [spike_wave_template, triphasic_template, pled_template]
+    )
+    def test_unit_scale_and_finite(self, factory):
+        template = factory(256.0)
+        assert np.all(np.isfinite(template))
+        assert 0.8 <= np.abs(template).max() <= 1.6
+
+    def test_templates_are_class_distinct(self):
+        from repro.signals.metrics import normalized_cross_correlation
+
+        kinds = [AnomalyType.SEIZURE, AnomalyType.ENCEPHALOPATHY, AnomalyType.STROKE]
+        templates = [transient_template(kind, 256.0) for kind in kinds]
+        for i in range(3):
+            for j in range(i + 1, 3):
+                shortest = min(templates[i].size, templates[j].size)
+                corr = normalized_cross_correlation(
+                    templates[i][:shortest], templates[j][:shortest]
+                )
+                assert corr < 0.8
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SignalError, match="no transient template"):
+            transient_template(AnomalyType.NONE, 256.0)
+
+
+class TestInjectAnomaly:
+    def test_whole_record_anomaly(self):
+        rng = np.random.default_rng(0)
+        background = EEGGenerator(seed=0).background(10.0)
+        spec = AnomalySpec(kind=AnomalyType.ENCEPHALOPATHY)
+        injected = inject_anomaly(background, spec, 256.0, rng)
+        assert injected.onset_sample == 0
+        assert injected.anomalous_spans == ((0, len(background)),)
+        # Morphology energy clearly added.
+        assert np.abs(injected.data).max() > np.abs(background).max()
+
+    def test_annotated_onset_and_label_start(self):
+        rng = np.random.default_rng(1)
+        background = EEGGenerator(seed=1).background(60.0)
+        spec = AnomalySpec(kind=AnomalyType.SEIZURE, onset_s=50.0, buildup_s=40.0)
+        injected = inject_anomaly(background, spec, 256.0, rng)
+        assert injected.onset_sample == 50 * 256
+        assert injected.label_start_sample <= injected.onset_sample
+        # Some preictal span must exist plus the ictal one.
+        assert injected.anomalous_spans[-1] == (injected.onset_sample, len(background))
+
+    def test_signal_untouched_before_buildup(self):
+        rng = np.random.default_rng(2)
+        background = EEGGenerator(seed=2).background(60.0)
+        spec = AnomalySpec(kind=AnomalyType.SEIZURE, onset_s=55.0, buildup_s=10.0)
+        injected = inject_anomaly(background, spec, 256.0, rng)
+        quiet = slice(0, 40 * 256)
+        assert np.array_equal(injected.data[quiet], background[quiet])
+
+    def test_discharge_density_ramps(self):
+        """Early preictal has fewer burst samples than late preictal."""
+        rng = np.random.default_rng(3)
+        background = EEGGenerator(seed=3).background(200.0)
+        spec = AnomalySpec(kind=AnomalyType.SEIZURE, onset_s=190.0, buildup_s=180.0)
+        injected = inject_anomaly(background, spec, 256.0, rng)
+        onset = injected.onset_sample
+        halves = [0, onset // 2, onset]
+        counts = []
+        for lo, hi in zip(halves[:-1], halves[1:]):
+            burst = sum(
+                max(0, min(hi, stop) - max(lo, start))
+                for start, stop in injected.anomalous_spans
+            )
+            counts.append(burst)
+        assert counts[1] > counts[0]
+
+    def test_ictal_span_dominated_by_transients(self):
+        rng = np.random.default_rng(4)
+        background = EEGGenerator(seed=4).background(30.0)
+        spec = AnomalySpec(kind=AnomalyType.SEIZURE, onset_s=20.0, buildup_s=5.0)
+        injected = inject_anomaly(background, spec, 256.0, rng)
+        ictal = injected.data[22 * 256 :]
+        preictal_quiet = injected.data[2 * 256 : 10 * 256]
+        assert np.abs(ictal).max() > 3.0 * np.abs(preictal_quiet).max()
+
+    def test_rejects_empty_background(self):
+        with pytest.raises(SignalError, match="empty"):
+            inject_anomaly(
+                np.array([]),
+                AnomalySpec(kind=AnomalyType.STROKE),
+                256.0,
+                np.random.default_rng(0),
+            )
+
+
+class TestMakeAnomalousSignal:
+    def test_annotations_propagate(self):
+        spec = AnomalySpec(kind=AnomalyType.SEIZURE, onset_s=40.0, buildup_s=30.0)
+        sig = make_anomalous_signal(EEGGenerator(seed=5), 50.0, spec)
+        assert sig.label is AnomalyType.SEIZURE
+        assert sig.onset_sample == 40 * 256
+        assert sig.anomalous_spans is not None
+        assert sig.label_start_sample is not None
+
+    def test_deterministic(self):
+        spec = AnomalySpec(kind=AnomalyType.STROKE)
+        a = make_anomalous_signal(EEGGenerator(seed=6), 10.0, spec)
+        b = make_anomalous_signal(EEGGenerator(seed=6), 10.0, spec)
+        assert np.array_equal(a.data, b.data)

@@ -1,0 +1,90 @@
+"""Unit tests for the artifact models and their bandpass suppression."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SignalError
+from repro.signals.artifacts import (
+    ArtifactSpec,
+    add_artifacts,
+    blink_artifact,
+    emg_artifact,
+    powerline_artifact,
+)
+from repro.signals.filters import BandpassFilter
+
+
+class TestArtifactSpec:
+    def test_rejects_negative(self):
+        with pytest.raises(SignalError, match="must be non-negative"):
+            ArtifactSpec(blink_rate_hz=-1.0)
+
+
+class TestBlink:
+    def test_rate_zero_is_silent(self):
+        out = blink_artifact(1000, 256.0, np.random.default_rng(0), rate_hz=0.0)
+        assert np.all(out == 0.0)
+
+    def test_blinks_are_large_and_slow(self):
+        out = blink_artifact(
+            256 * 60, 256.0, np.random.default_rng(1), rate_hz=0.5, amplitude_uv=100.0
+        )
+        assert np.abs(out).max() > 50.0
+
+    def test_bandpass_suppresses_blinks(self):
+        raw = blink_artifact(
+            256 * 30, 256.0, np.random.default_rng(2), rate_hz=0.5, amplitude_uv=120.0
+        )
+        filtered = BandpassFilter().apply(raw)
+        assert np.abs(filtered[500:]).max() < 0.25 * np.abs(raw).max()
+
+
+class TestPowerline:
+    def test_constant_amplitude(self):
+        out = powerline_artifact(256 * 4, 256.0, np.random.default_rng(3))
+        assert np.abs(out).max() == pytest.approx(5.0, rel=0.05)
+
+    def test_bandpass_suppresses_mains(self):
+        raw = powerline_artifact(
+            256 * 20, 256.0, np.random.default_rng(4), mains_hz=50.0, amplitude_uv=10.0
+        )
+        filtered = BandpassFilter().apply(raw)
+        raw_rms = np.sqrt(np.mean(raw[500:] ** 2))
+        filtered_rms = np.sqrt(np.mean(filtered[500:] ** 2))
+        assert filtered_rms < 0.3 * raw_rms
+
+
+class TestEMG:
+    def test_bursty(self):
+        out = emg_artifact(
+            256 * 120, 256.0, np.random.default_rng(5), burst_rate_hz=0.2
+        )
+        # Bursts exist, but most of the trace is quiet.
+        assert np.abs(out).max() > 10.0
+        assert np.mean(np.abs(out) < 1.0) > 0.4
+
+
+class TestAddArtifacts:
+    def test_adds_energy(self):
+        rng = np.random.default_rng(6)
+        clean = np.zeros(256 * 30)
+        dirty = add_artifacts(clean, 256.0, rng)
+        assert np.abs(dirty).max() > 0.0
+
+    def test_returns_copy(self):
+        rng = np.random.default_rng(7)
+        clean = np.zeros(2560)
+        dirty = add_artifacts(clean, 256.0, rng)
+        assert dirty is not clean
+        assert np.all(clean == 0.0)
+
+    def test_skips_mains_above_nyquist(self):
+        rng = np.random.default_rng(8)
+        spec = ArtifactSpec(powerline_hz=200.0)
+        # fs=256 -> Nyquist 128: mains must be skipped, not aliased.
+        out = add_artifacts(np.zeros(2560), 256.0, rng, spec)
+        assert np.all(np.isfinite(out))
+
+    def test_rejects_empty(self):
+        with pytest.raises(SignalError, match="empty"):
+            add_artifacts(np.array([]), 256.0, np.random.default_rng(0))

@@ -1,0 +1,133 @@
+"""Unit tests for the 100-tap FIR bandpass (Eq. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FilterError
+from repro.signals.filters import (
+    DEFAULT_NUM_TAPS,
+    BandpassFilter,
+    FilterSpec,
+    StreamingFIRFilter,
+)
+from repro.signals.types import BASE_SAMPLE_RATE_HZ, Signal
+
+
+def tone(freq_hz: float, duration_s: float = 4.0, fs: float = BASE_SAMPLE_RATE_HZ):
+    t = np.arange(int(duration_s * fs)) / fs
+    return np.sin(2 * np.pi * freq_hz * t)
+
+
+class TestFilterSpec:
+    def test_paper_defaults(self):
+        spec = FilterSpec()
+        assert spec.num_taps == DEFAULT_NUM_TAPS == 100
+        assert (spec.low_hz, spec.high_hz) == (11.0, 40.0)
+
+    def test_rejects_inverted_band(self):
+        with pytest.raises(FilterError, match="invalid passband"):
+            FilterSpec(low_hz=40.0, high_hz=11.0)
+
+    def test_rejects_band_beyond_nyquist(self):
+        with pytest.raises(FilterError, match="Nyquist"):
+            FilterSpec(high_hz=200.0, sample_rate_hz=256.0)
+
+    def test_rejects_too_few_taps(self):
+        with pytest.raises(FilterError, match="taps"):
+            FilterSpec(num_taps=1)
+
+    def test_design_length(self):
+        assert FilterSpec().design().shape == (100,)
+
+
+class TestBandpassFilter:
+    def test_passband_tone_survives(self):
+        bp = BandpassFilter()
+        out = bp.apply(tone(20.0))
+        # Skip the transient, compare steady-state RMS.
+        rms = np.sqrt(np.mean(out[500:] ** 2))
+        assert rms == pytest.approx(np.sqrt(0.5), rel=0.1)
+
+    @pytest.mark.parametrize("freq", [2.0, 50.0, 100.0])
+    def test_stopband_tones_attenuated(self, freq):
+        bp = BandpassFilter()
+        out = bp.apply(tone(freq))
+        rms = np.sqrt(np.mean(out[500:] ** 2))
+        assert rms < 0.15  # > ~13 dB down from the unit-RMS input
+
+    def test_dc_removed(self):
+        bp = BandpassFilter()
+        out = bp.apply(np.full(2048, 100.0))
+        assert np.abs(out[500:]).max() < 1.0
+
+    def test_output_length_preserved(self):
+        bp = BandpassFilter()
+        data = np.random.default_rng(0).standard_normal(777)
+        assert bp.apply(data).shape == (777,)
+
+    def test_apply_signal_checks_rate(self):
+        bp = BandpassFilter()
+        sig = Signal(data=np.ones(300), sample_rate_hz=500.0)
+        with pytest.raises(FilterError, match="resample first"):
+            bp.apply_signal(sig)
+
+    def test_apply_signal_preserves_metadata(self):
+        bp = BandpassFilter()
+        sig = Signal(data=np.random.default_rng(1).standard_normal(512), channel="C3")
+        out = bp.apply_signal(sig)
+        assert out.channel == "C3"
+        assert len(out) == 512
+
+    def test_rejects_empty(self):
+        with pytest.raises(FilterError, match="empty"):
+            BandpassFilter().apply(np.array([]))
+
+    def test_frequency_response_peaks_in_band(self):
+        freqs, magnitude = BandpassFilter().frequency_response()
+        peak = freqs[int(np.argmax(magnitude))]
+        assert 11.0 <= peak <= 40.0
+
+
+class TestStreamingFIRFilter:
+    def test_block_output_matches_one_shot(self):
+        rng = np.random.default_rng(2)
+        data = rng.standard_normal(1024)
+        one_shot = BandpassFilter().apply(data)
+        streaming = StreamingFIRFilter()
+        blocks = [streaming.process(data[i : i + 256]) for i in range(0, 1024, 256)]
+        assert np.allclose(np.concatenate(blocks), one_shot)
+
+    def test_irregular_block_sizes(self):
+        rng = np.random.default_rng(3)
+        data = rng.standard_normal(500)
+        one_shot = BandpassFilter().apply(data)
+        streaming = StreamingFIRFilter()
+        pieces = [
+            streaming.process(chunk)
+            for chunk in (data[:7], data[7:130], data[130:131], data[131:])
+        ]
+        assert np.allclose(np.concatenate(pieces), one_shot)
+
+    def test_reset_clears_state(self):
+        rng = np.random.default_rng(4)
+        data = rng.standard_normal(300)
+        streaming = StreamingFIRFilter()
+        first = streaming.process(data)
+        streaming.reset()
+        assert streaming.samples_processed == 0
+        assert np.allclose(streaming.process(data), first)
+
+    def test_samples_processed_counter(self):
+        streaming = StreamingFIRFilter()
+        streaming.process(np.ones(100))
+        streaming.process(np.ones(28))
+        assert streaming.samples_processed == 128
+
+    def test_rejects_empty_block(self):
+        with pytest.raises(FilterError, match="empty"):
+            StreamingFIRFilter().process(np.array([]))
+
+    def test_bandpass_streaming_factory_shares_spec(self):
+        bp = BandpassFilter(FilterSpec(num_taps=64))
+        streaming = bp.streaming()
+        assert streaming.spec.num_taps == 64

@@ -1,0 +1,97 @@
+"""Unit tests for the synthetic EEG background generator."""
+
+import numpy as np
+import pytest
+from scipy import signal as sp_signal
+
+from repro.errors import SignalError
+from repro.signals.generator import (
+    EEG_BANDS,
+    BackgroundSpec,
+    EEGGenerator,
+    band_noise,
+    pink_noise,
+)
+
+
+class TestBackgroundSpec:
+    def test_defaults_valid(self):
+        BackgroundSpec()
+
+    def test_rejects_bad_fractions(self):
+        with pytest.raises(SignalError, match="pink fraction"):
+            BackgroundSpec(pink_fraction=1.5)
+        with pytest.raises(SignalError, match="rhythm fraction"):
+            BackgroundSpec(rhythm_fraction=1.0)
+
+    def test_rejects_unknown_band(self):
+        with pytest.raises(SignalError, match="unknown EEG bands"):
+            BackgroundSpec(band_weights={"gamma-ray": 1.0})
+
+
+class TestPinkNoise:
+    def test_unit_rms(self):
+        noise = pink_noise(8192, np.random.default_rng(0))
+        assert np.sqrt(np.mean(noise**2)) == pytest.approx(1.0, abs=1e-9)
+
+    def test_spectrum_slopes_down(self):
+        noise = pink_noise(2**14, np.random.default_rng(1))
+        freqs, psd = sp_signal.welch(noise, nperseg=2048)
+        low = psd[(freqs > 0.01) & (freqs < 0.05)].mean()
+        high = psd[(freqs > 0.2) & (freqs < 0.4)].mean()
+        assert low > 3.0 * high
+
+    def test_rejects_empty(self):
+        with pytest.raises(SignalError, match="positive"):
+            pink_noise(0, np.random.default_rng(0))
+
+
+class TestBandNoise:
+    def test_energy_concentrated_in_band(self):
+        rng = np.random.default_rng(2)
+        noise = band_noise(2**14, EEG_BANDS["beta"], 256.0, rng)
+        freqs, psd = sp_signal.welch(noise, fs=256.0, nperseg=2048)
+        in_band = psd[(freqs >= 13) & (freqs <= 30)].sum()
+        assert in_band / psd.sum() > 0.9
+
+    def test_rejects_band_outside_nyquist(self):
+        with pytest.raises(SignalError, match="invalid"):
+            band_noise(100, (100.0, 200.0), 256.0, np.random.default_rng(0))
+
+
+class TestEEGGenerator:
+    def test_deterministic_per_seed(self):
+        a = EEGGenerator(seed=7).background(2.0)
+        b = EEGGenerator(seed=7).background(2.0)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = EEGGenerator(seed=7).background(2.0)
+        b = EEGGenerator(seed=8).background(2.0)
+        assert not np.array_equal(a, b)
+
+    def test_rms_close_to_spec(self):
+        spec = BackgroundSpec(rms_uv=30.0)
+        data = EEGGenerator(spec, seed=0).background(30.0)
+        assert np.sqrt(np.mean(data**2)) == pytest.approx(30.0, rel=0.25)
+
+    def test_rhythm_dominates_spectrum(self):
+        spec = BackgroundSpec()
+        data = EEGGenerator(spec, seed=3).background(30.0)
+        freqs, psd = sp_signal.welch(data, fs=256.0, nperseg=2048)
+        peak = freqs[int(np.argmax(psd))]
+        assert abs(peak - spec.rhythm_hz) < 1.0
+
+    def test_sample_count(self):
+        data = EEGGenerator(seed=0).background(3.5)
+        assert data.shape == (int(3.5 * 256),)
+
+    def test_rejects_zero_duration(self):
+        with pytest.raises(SignalError, match="yields no samples"):
+            EEGGenerator(seed=0).background(0.0)
+
+    def test_record_wraps_signal(self):
+        sig = EEGGenerator(seed=0).record(2.0, channel="Cz", source="unit")
+        assert sig.channel == "Cz"
+        assert sig.source == "unit"
+        assert sig.duration_s == pytest.approx(2.0)

@@ -1,0 +1,166 @@
+"""Unit tests for signal-quality assessment and montage support."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SignalError
+from repro.signals.generator import EEGGenerator
+from repro.signals.montage import (
+    TEN_TWENTY_ELECTRODES,
+    MultiChannelRecording,
+    hemisphere,
+    is_ten_twenty,
+)
+from repro.signals.quality import FrameQuality, QualityAssessor, QualityThresholds
+from repro.signals.types import Signal
+
+
+@pytest.fixture
+def assessor():
+    return QualityAssessor()
+
+
+def clean_frame(seed=0, n=256):
+    return EEGGenerator(seed=seed).background(n / 256.0)
+
+
+class TestQualityAssessor:
+    def test_clean_eeg_usable(self, assessor):
+        quality = assessor.assess(clean_frame())
+        assert quality.is_usable
+        assert quality.score > 0.5
+
+    def test_flatline_detected(self, assessor):
+        quality = assessor.assess(np.full(256, 3.0))
+        assert quality.flatline
+        assert not quality.is_usable
+        assert quality.score == 0.0
+
+    def test_saturation_detected(self, assessor):
+        frame = clean_frame(1)
+        frame[50:60] = 5000.0
+        quality = assessor.assess(frame)
+        assert quality.saturated
+        assert not quality.is_usable
+
+    def test_amplitude_excursion_detected(self, assessor):
+        frame = clean_frame(2)
+        frame[100] += 900.0  # below rails, beyond physiological EEG
+        quality = assessor.assess(frame)
+        assert quality.amplitude_excursion
+        assert not quality.is_usable
+
+    def test_emg_contamination_detected(self, assessor):
+        rng = np.random.default_rng(3)
+        # Broadband white noise has heavy 45-100 Hz content at 256 Hz.
+        frame = 30.0 * rng.standard_normal(256)
+        quality = assessor.assess(frame)
+        assert quality.hf_contaminated
+
+    def test_slow_drift_flagged_but_usable(self, assessor):
+        t = np.arange(256) / 256.0
+        frame = clean_frame(4) * 0.2 + 50.0 * np.sin(2 * np.pi * 0.5 * t)
+        quality = assessor.assess(frame)
+        assert quality.lf_contaminated
+        assert quality.is_usable  # LF alone does not gate uploads
+
+    def test_score_bounded(self, assessor):
+        for seed in range(5):
+            quality = assessor.assess(clean_frame(seed))
+            assert 0.0 <= quality.score <= 1.0
+
+    def test_usable_fraction(self, assessor):
+        recording = EEGGenerator(seed=5).background(10.0)
+        recording[256 * 3 : 256 * 4] = 0.0  # one dead second
+        fraction = assessor.usable_fraction(recording)
+        assert fraction == pytest.approx(0.9, abs=0.01)
+
+    def test_rejects_short_frame(self, assessor):
+        with pytest.raises(SignalError, match=">= 16"):
+            assessor.assess(np.ones(8))
+
+    def test_threshold_validation(self):
+        with pytest.raises(SignalError):
+            QualityThresholds(saturation_fraction=0.0)
+        with pytest.raises(SignalError):
+            QualityThresholds(max_hf_ratio=1.5)
+
+
+class TestTenTwenty:
+    def test_inventory(self):
+        assert len(TEN_TWENTY_ELECTRODES) == 19
+        assert is_ten_twenty("Cz")
+        assert not is_ten_twenty("X9")
+
+    def test_hemispheres(self):
+        assert hemisphere("C3") == "left"
+        assert hemisphere("C4") == "right"
+        assert hemisphere("Fz") == "midline"
+        with pytest.raises(SignalError, match="10-20"):
+            hemisphere("ECG")
+
+
+class TestMultiChannelRecording:
+    def _recording(self, n_channels=3, duration=6.0):
+        channels = {}
+        for index, name in enumerate(("C3", "Cz", "C4")[:n_channels]):
+            sig = EEGGenerator(seed=10 + index).record(duration, channel=name)
+            channels[name] = sig
+        return MultiChannelRecording(channels=channels)
+
+    def test_valid_construction(self):
+        recording = self._recording()
+        assert recording.channel_names == ("C3", "Cz", "C4")
+        assert len(recording) == 6 * 256
+
+    def test_rejects_mismatched_lengths(self):
+        channels = {
+            "C3": EEGGenerator(seed=0).record(2.0, channel="C3"),
+            "C4": EEGGenerator(seed=1).record(3.0, channel="C4"),
+        }
+        with pytest.raises(SignalError, match="lengths differ"):
+            MultiChannelRecording(channels=channels)
+
+    def test_rejects_key_channel_mismatch(self):
+        with pytest.raises(SignalError, match="does not match"):
+            MultiChannelRecording(
+                channels={"C3": EEGGenerator(seed=0).record(1.0, channel="Cz")}
+            )
+
+    def test_get(self):
+        recording = self._recording()
+        assert recording.get("Cz").channel == "Cz"
+        with pytest.raises(SignalError, match="no channel"):
+            recording.get("O1")
+
+    def test_average_reference_zero_mean_across_channels(self):
+        recording = self._recording().average_reference()
+        stack = np.vstack([sig.data for sig in recording.channels.values()])
+        assert np.allclose(stack.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_select_by_quality_avoids_dead_channel(self):
+        recording = self._recording()
+        dead = recording.channels["Cz"].with_data(
+            np.zeros(len(recording))
+        )
+        channels = dict(recording.channels)
+        channels["Cz"] = dead
+        noisy = MultiChannelRecording(channels=channels)
+        best = noisy.select_by_quality()
+        assert best.channel != "Cz"
+
+    def test_select_by_band_power_prefers_active_channel(self):
+        recording = self._recording()
+        t = np.arange(len(recording)) / 256.0
+        boosted = recording.channels["C4"].with_data(
+            recording.channels["C4"].data + 80.0 * np.sin(2 * np.pi * 20.0 * t)
+        )
+        channels = dict(recording.channels)
+        channels["C4"] = boosted
+        active = MultiChannelRecording(channels=channels)
+        assert active.select_by_band_power().channel == "C4"
+
+    def test_band_validation(self):
+        recording = self._recording()
+        with pytest.raises(SignalError, match="invalid band"):
+            recording.select_by_band_power(low_hz=200.0, high_hz=300.0)

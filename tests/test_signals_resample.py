@@ -1,0 +1,78 @@
+"""Unit tests for resampling to the 256 Hz base rate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ResampleError
+from repro.signals.resample import rate_ratio, resample_array, resample_to
+from repro.signals.types import AnomalyType, Signal
+
+
+class TestRateRatio:
+    def test_exact_ratios(self):
+        assert rate_ratio(512.0, 256.0) == (1, 2)
+        assert rate_ratio(256.0, 256.0) == (1, 1)
+        assert rate_ratio(250.0, 256.0) == (128, 125)
+
+    def test_bonn_rate_approximated_closely(self):
+        up, down = rate_ratio(173.61, 256.0)
+        achieved = 173.61 * up / down
+        assert achieved == pytest.approx(256.0, rel=1e-4)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ResampleError, match="positive"):
+            rate_ratio(0.0, 256.0)
+
+
+class TestResampleArray:
+    def test_length_scales_with_ratio(self):
+        data = np.random.default_rng(0).standard_normal(5000)
+        out = resample_array(data, 500.0, 256.0)
+        assert abs(len(out) - 2560) <= 2
+
+    def test_identity_when_rates_equal(self):
+        data = np.arange(100.0)
+        out = resample_array(data, 256.0, 256.0)
+        assert np.array_equal(out, data)
+        assert out is not data
+
+    def test_tone_frequency_preserved(self):
+        fs_in = 512.0
+        t = np.arange(int(fs_in * 8)) / fs_in
+        tone = np.sin(2 * np.pi * 20.0 * t)
+        out = resample_array(tone, fs_in, 256.0)
+        spectrum = np.abs(np.fft.rfft(out))
+        freqs = np.fft.rfftfreq(len(out), 1 / 256.0)
+        assert freqs[int(np.argmax(spectrum))] == pytest.approx(20.0, abs=0.2)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ResampleError, match="empty"):
+            resample_array(np.array([]), 500.0, 256.0)
+
+
+class TestResampleTo:
+    def test_onset_stays_at_same_instant(self):
+        sig = Signal(
+            data=np.random.default_rng(1).standard_normal(5000),
+            sample_rate_hz=500.0,
+            label=AnomalyType.SEIZURE,
+            onset_sample=2500,
+        )
+        out = resample_to(sig, 256.0)
+        assert out.sample_rate_hz == 256.0
+        assert out.onset_time_s == pytest.approx(5.0, abs=0.02)
+
+    def test_no_op_when_already_base(self):
+        sig = Signal(data=np.ones(100))
+        assert resample_to(sig) is sig
+
+    def test_spans_rescaled(self):
+        sig = Signal(
+            data=np.random.default_rng(2).standard_normal(5120),
+            sample_rate_hz=512.0,
+            label=AnomalyType.SEIZURE,
+            onset_sample=2560,
+            anomalous_spans=((1024, 2048), (2560, 5120)),
+        )
+        out = resample_to(sig, 256.0)
+        assert out.anomalous_spans[0] == (512, 1024)

@@ -1,0 +1,118 @@
+"""Unit + property tests for signal-set slicing and labelling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SignalError
+from repro.signals.slicing import count_slices, slice_signal
+from repro.signals.types import SLICE_SAMPLES, AnomalyType, Signal
+
+
+def make_signal(n_samples: int, **kwargs) -> Signal:
+    return Signal(data=np.arange(n_samples, dtype=float) + 1.0, **kwargs)
+
+
+class TestCountSlices:
+    def test_matches_actual_slicing(self):
+        sig = make_signal(3500)
+        actual = len(list(slice_signal(sig)))
+        assert count_slices(3500) == actual == 3
+
+    @given(
+        total=st.integers(min_value=0, max_value=20_000),
+        size=st.integers(min_value=1, max_value=2000),
+        stride=st.integers(min_value=1, max_value=2000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_formula_agrees_with_enumeration(self, total, size, stride):
+        expected = len(range(0, total - size + 1, stride)) if total >= size else 0
+        assert count_slices(total, size, stride) == expected
+
+    def test_rejects_bad_stride(self):
+        with pytest.raises(SignalError, match="stride"):
+            count_slices(100, 10, 0)
+
+
+class TestSliceSignal:
+    def test_non_overlapping_default(self):
+        sig = make_signal(2 * SLICE_SAMPLES + 100)
+        slices = list(slice_signal(sig))
+        assert len(slices) == 2
+        assert slices[0].start_sample == 0
+        assert slices[1].start_sample == SLICE_SAMPLES
+        assert slices[0].data[0] == 1.0
+
+    def test_overlapping_stride(self):
+        sig = make_signal(2000)
+        slices = list(slice_signal(sig, stride=500))
+        assert [s.start_sample for s in slices] == [0, 500, 1000]
+
+    def test_slice_ids_unique(self):
+        sig = make_signal(5000, source="corpus/rec1", channel="Cz")
+        ids = [s.slice_id for s in slice_signal(sig)]
+        assert len(set(ids)) == len(ids)
+        assert all("corpus/rec1" in sid for sid in ids)
+
+    def test_normal_record_all_normal(self):
+        sig = make_signal(3000)
+        assert all(s.label is AnomalyType.NONE for s in slice_signal(sig))
+
+    def test_whole_record_anomaly_all_anomalous(self):
+        sig = make_signal(3000, label=AnomalyType.STROKE)
+        assert all(s.label is AnomalyType.STROKE for s in slice_signal(sig))
+
+    def test_onset_labelling_without_spans(self):
+        sig = make_signal(4000, label=AnomalyType.SEIZURE, onset_sample=3000)
+        labels = [s.label for s in slice_signal(sig, min_anomaly_overlap=0.25)]
+        assert labels == [
+            AnomalyType.NONE,
+            AnomalyType.NONE,
+            AnomalyType.NONE,
+            AnomalyType.SEIZURE,
+        ]
+
+    def test_span_labelling_overrides_onset(self):
+        sig = make_signal(
+            4000,
+            label=AnomalyType.SEIZURE,
+            onset_sample=3500,
+            label_start_sample=3500,
+            anomalous_spans=((500, 900), (3500, 4000)),
+        )
+        labels = [s.label for s in slice_signal(sig, min_anomaly_overlap=0.25)]
+        # Slice 0 overlaps span (500, 900) by 400 >= 250 samples.
+        assert labels[0] is AnomalyType.SEIZURE
+        assert labels[1] is AnomalyType.NONE
+        assert labels[3] is AnomalyType.SEIZURE
+
+    def test_min_overlap_respected(self):
+        sig = make_signal(
+            2000,
+            label=AnomalyType.SEIZURE,
+            onset_sample=1900,
+            label_start_sample=1900,
+            anomalous_spans=((1900, 2000),),
+        )
+        strict = [s.label for s in slice_signal(sig, min_anomaly_overlap=0.25)]
+        lax = [s.label for s in slice_signal(sig, min_anomaly_overlap=0.05)]
+        assert strict[1] is AnomalyType.NONE
+        assert lax[1] is AnomalyType.SEIZURE
+
+    def test_short_record_yields_nothing(self):
+        sig = make_signal(999)
+        assert list(slice_signal(sig)) == []
+
+    def test_rejects_bad_overlap(self):
+        sig = make_signal(2000)
+        with pytest.raises(SignalError, match="overlap"):
+            list(slice_signal(sig, min_anomaly_overlap=0.0))
+
+    @given(stride=st.integers(min_value=100, max_value=1500))
+    @settings(max_examples=20, deadline=None)
+    def test_slices_tile_signal_data(self, stride):
+        sig = make_signal(4000)
+        for sl in slice_signal(sig, stride=stride):
+            start = sl.start_sample
+            assert np.array_equal(sl.data, sig.data[start : start + SLICE_SAMPLES])

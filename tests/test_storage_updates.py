@@ -1,0 +1,68 @@
+"""Unit tests for document-store update operations."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.store import Collection
+
+
+@pytest.fixture
+def inventory() -> Collection:
+    collection = Collection("inventory")
+    collection.insert_many(
+        [
+            {"sku": "a", "qty": 5, "tag": "cold"},
+            {"sku": "b", "qty": 2, "tag": "cold"},
+            {"sku": "c", "qty": 9, "tag": "hot"},
+        ]
+    )
+    return collection
+
+
+class TestUpdateMany:
+    def test_set(self, inventory):
+        touched = inventory.update_many({"tag": "cold"}, {"$set": {"tag": "warm"}})
+        assert touched == 2
+        assert inventory.count({"tag": "warm"}) == 2
+        assert inventory.count({"tag": "cold"}) == 0
+
+    def test_set_new_field(self, inventory):
+        inventory.update_many({"sku": "a"}, {"$set": {"loc": "shelf-1"}})
+        assert inventory.find_one({"sku": "a"})["loc"] == "shelf-1"
+
+    def test_unset(self, inventory):
+        inventory.update_many({}, {"$unset": {"tag": ""}})
+        assert inventory.count({"tag": {"$exists": True}}) == 0
+
+    def test_inc(self, inventory):
+        inventory.update_many({"sku": "b"}, {"$inc": {"qty": 3}})
+        assert inventory.find_one({"sku": "b"})["qty"] == 5
+
+    def test_inc_missing_field_starts_at_zero(self, inventory):
+        inventory.update_many({"sku": "a"}, {"$inc": {"hits": 1}})
+        assert inventory.find_one({"sku": "a"})["hits"] == 1
+
+    def test_inc_non_numeric_rejected(self, inventory):
+        with pytest.raises(StorageError, match="numeric"):
+            inventory.update_many({"sku": "a"}, {"$inc": {"tag": 1}})
+
+    def test_id_immutable(self, inventory):
+        with pytest.raises(StorageError, match="immutable"):
+            inventory.update_many({}, {"$set": {"_id": "nope"}})
+
+    def test_unknown_operator_rejected(self, inventory):
+        with pytest.raises(StorageError, match="unsupported update"):
+            inventory.update_many({}, {"$rename": {"sku": "code"}})
+
+    def test_empty_update_rejected(self, inventory):
+        with pytest.raises(StorageError, match="empty"):
+            inventory.update_many({}, {})
+
+    def test_indexes_follow_updates(self, inventory):
+        inventory.create_index("tag")
+        inventory.update_many({"sku": "c"}, {"$set": {"tag": "cold"}})
+        assert inventory.count({"tag": "cold"}) == 3
+        assert {d["sku"] for d in inventory.find({"tag": "cold"})} == {"a", "b", "c"}
+
+    def test_no_match_is_zero(self, inventory):
+        assert inventory.update_many({"sku": "zzz"}, {"$set": {"qty": 0}}) == 0
