@@ -3,17 +3,39 @@
 Every bench regenerates one of the paper's tables or figures, prints
 the same rows/series the paper reports, and saves a copy under
 ``benchmark_reports/`` next to this directory.
+
+The whole benchmark session runs with the ``repro.obs`` observability
+layer enabled; the collected metrics document is written to
+``benchmark_reports/obs_metrics.json`` at session end so CI (and the
+``benchmarks/check_regression.py`` gate) can diff counters such as
+``cloud.search.correlations_evaluated`` across runs.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
 
+from repro import obs
 from repro.eval.experiments.common import build_fixture
 
 REPORT_DIR = Path(__file__).resolve().parent.parent / "benchmark_reports"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def observability():
+    """Collect obs metrics for the session and attach them to the output."""
+    obs.reset()
+    obs.enable()
+    yield
+    document = obs.export()
+    REPORT_DIR.mkdir(exist_ok=True)
+    path = REPORT_DIR / "obs_metrics.json"
+    path.write_text(json.dumps(document["metrics"], indent=2) + "\n")
+    print(f"\nobservability metrics written to {path}")
+    obs.disable()
 
 
 @pytest.fixture(scope="session")

@@ -18,8 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import EMAPError
 from repro.baselines.base import TrainingSet, WindowClassifier
+from repro.errors import EMAPError
 
 #: LBP code width in bits (Laelaps uses 6-bit codes).
 LBP_BITS = 6

@@ -13,8 +13,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import EMAPError
 from repro.baselines.base import TrainingSet, WindowClassifier
+from repro.errors import EMAPError
 
 
 def cheap_features(window: np.ndarray) -> np.ndarray:

@@ -12,6 +12,7 @@
     emap fig11  [--inputs 20]
     emap table1 [--batches 2 --batch-size 5]
     emap monitor --kind seizure --duration 60
+    emap obs [--json] [--duration 40] [--profile]
 
 Every experiment prints the same rows/series the paper's corresponding
 table or figure reports.
@@ -71,6 +72,34 @@ def _build_parser() -> argparse.ArgumentParser:
     monitor.add_argument("--duration", type=float, default=60.0)
     monitor.add_argument("--mdb-scale", type=float, default=0.3)
     monitor.add_argument("--seed", type=int, default=0)
+
+    obs_cmd = subparsers.add_parser(
+        "obs",
+        help="run an end-to-end streaming session with observability on "
+        "and report the collected metrics",
+    )
+    obs_cmd.add_argument(
+        "--json", action="store_true", help="emit the raw metrics document"
+    )
+    obs_cmd.add_argument(
+        "--profile",
+        action="store_true",
+        help="also capture a cProfile of the streaming run",
+    )
+    obs_cmd.add_argument(
+        "--kind",
+        choices=["none", "seizure", "encephalopathy", "stroke"],
+        default="seizure",
+    )
+    obs_cmd.add_argument("--duration", type=float, default=40.0)
+    obs_cmd.add_argument("--mdb-scale", type=float, default=0.2)
+    obs_cmd.add_argument("--seed", type=int, default=0)
+    obs_cmd.add_argument(
+        "--chunk-samples",
+        type=int,
+        default=96,
+        help="raw samples per streaming push (exercises partial frames)",
+    )
     return parser
 
 
@@ -205,6 +234,60 @@ def _cmd_monitor(args) -> str:
     return "\n".join(lines)
 
 
+def _obs_recording(args):
+    """An evaluation recording for the observability session."""
+    from repro.signals.anomalies import AnomalySpec, make_anomalous_signal
+    from repro.signals.generator import EEGGenerator
+    from repro.signals.types import AnomalyType
+
+    kind = AnomalyType(args.kind)
+    generator = EEGGenerator(seed=args.seed + 1000)
+    if not kind.is_anomalous:
+        return generator.record(args.duration)
+    if kind is AnomalyType.SEIZURE:
+        spec = AnomalySpec(
+            kind=kind,
+            onset_s=0.8 * args.duration,
+            buildup_s=0.7 * args.duration,
+        )
+    else:
+        spec = AnomalySpec(kind=kind)
+    return make_anomalous_signal(generator, args.duration, spec)
+
+
+def _cmd_obs(args) -> str:
+    """End-to-end streaming run with the observability layer enabled."""
+    from repro import obs
+    from repro.config import PipelineConfig, build_pipeline
+    from repro.obs.profiling import profile_block
+    from repro.runtime.streaming import StreamingMonitor
+
+    obs.reset()
+    obs.enable(profiling=args.profile)
+    pipeline = build_pipeline(
+        PipelineConfig(
+            mdb_scale=args.mdb_scale, seed=args.seed, with_artifacts=False
+        )
+    )
+    recording = _obs_recording(args)
+    monitor = StreamingMonitor(pipeline.cloud)
+    chunk = max(1, args.chunk_samples)
+    with profile_block("obs.streaming_run", obs.profiles()):
+        for start in range(0, len(recording.data), chunk):
+            monitor.push(recording.data[start : start + chunk])
+    document = obs.export()
+    if args.json:
+        import json
+
+        return json.dumps(document, indent=2)
+    header = (
+        f"streaming session: {args.kind}, {args.duration:.0f}s, "
+        f"{len(monitor.updates)} frames, {monitor.cloud_calls} cloud calls "
+        f"(MDB: {len(pipeline.mdb)} signal-sets)\n"
+    )
+    return header + obs.format_report(document)
+
+
 _COMMANDS: dict[str, Callable] = {
     "list": _cmd_list,
     "fig2": _cmd_fig2,
@@ -218,6 +301,7 @@ _COMMANDS: dict[str, Callable] = {
     "fig11": _cmd_fig11,
     "table1": _cmd_table1,
     "monitor": _cmd_monitor,
+    "obs": _cmd_obs,
 }
 
 

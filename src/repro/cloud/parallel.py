@@ -21,9 +21,10 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro.errors import SearchError
+from repro import obs
 from repro.cloud.results import SearchMatch, SearchResult
 from repro.cloud.search import SearchConfig, SlidingWindowSearch
+from repro.errors import SearchError
 from repro.signals.types import SignalSlice
 
 
@@ -46,23 +47,34 @@ def partition_slices(
 def merge_results(
     partials: Iterable[SearchResult], top_k: int
 ) -> SearchResult:
-    """Merge per-chunk results into the global top-K correlation set."""
+    """Merge per-chunk results into the global top-K correlation set.
+
+    Each chunk's own wall time is preserved in ``chunk_elapsed_s``;
+    the merge itself is timed by a ``cloud.merge`` span, and
+    ``elapsed_s`` is the critical-path estimate (slowest chunk plus the
+    merge) — :meth:`ParallelSearch.search` overwrites it with the true
+    end-to-end wall time it measures around dispatch + merge.
+    """
     if top_k < 1:
         raise SearchError(f"top_k must be >= 1, got {top_k}")
     merged = SearchResult()
     heap: list[tuple[float, int, SearchMatch]] = []
     sequence = 0
-    for partial in partials:
-        merged.correlations_evaluated += partial.correlations_evaluated
-        merged.slices_searched += partial.slices_searched
-        merged.candidates_above_threshold += partial.candidates_above_threshold
-        merged.elapsed_s = max(merged.elapsed_s, partial.elapsed_s)
-        for match in partial.matches:
-            sequence += 1
-            if len(heap) < top_k:
-                heapq.heappush(heap, (match.omega, sequence, match))
-            elif match.omega > heap[0][0]:
-                heapq.heapreplace(heap, (match.omega, sequence, match))
+    with obs.trace.span("cloud.merge") as span:
+        for partial in partials:
+            merged.correlations_evaluated += partial.correlations_evaluated
+            merged.slices_searched += partial.slices_searched
+            merged.candidates_above_threshold += partial.candidates_above_threshold
+            merged.heap_admissions += partial.heap_admissions
+            merged.chunk_elapsed_s.append(partial.elapsed_s)
+            for match in partial.matches:
+                sequence += 1
+                if len(heap) < top_k:
+                    heapq.heappush(heap, (match.omega, sequence, match))
+                elif match.omega > heap[0][0]:
+                    heapq.heapreplace(heap, (match.omega, sequence, match))
+    slowest_chunk = max(merged.chunk_elapsed_s, default=0.0)
+    merged.elapsed_s = slowest_chunk + span.elapsed_s
     merged.matches = [
         entry[2] for entry in sorted(heap, key=lambda item: item[0], reverse=True)
     ]
@@ -103,18 +115,37 @@ class ParallelSearch:
     def search(
         self, frame: np.ndarray, slices: Sequence[SignalSlice]
     ) -> SearchResult:
-        """Global top-K search, identical in output to a single engine."""
+        """Global top-K search, identical in output to a single engine.
+
+        The whole partitioned search runs inside a
+        ``cloud.parallel_search`` root span; the merged result's
+        ``elapsed_s`` is that span's wall time (dispatch + chunk scans
+        + merge), and ``chunk_elapsed_s`` keeps every chunk's own
+        latency so skew between workers stays visible.
+        """
         query = np.asarray(frame, dtype=np.float64)
-        chunks = partition_slices(slices, self.n_chunks)
-        if self.n_workers == 1:
-            partials = [
-                _search_chunk(query, chunk, self.config) for chunk in chunks
-            ]
-        else:
-            with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
-                futures = [
-                    pool.submit(_search_chunk, query, chunk, self.config)
-                    for chunk in chunks
+        with obs.trace.span(
+            "cloud.parallel_search",
+            n_chunks=self.n_chunks,
+            n_workers=self.n_workers,
+        ) as span:
+            chunks = partition_slices(slices, self.n_chunks)
+            if self.n_workers == 1:
+                partials = [
+                    _search_chunk(query, chunk, self.config) for chunk in chunks
                 ]
-                partials = [future.result() for future in futures]
-        return merge_results(partials, self.config.top_k)
+            else:
+                with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
+                    futures = [
+                        pool.submit(_search_chunk, query, chunk, self.config)
+                        for chunk in chunks
+                    ]
+                    partials = [future.result() for future in futures]
+            merged = merge_results(partials, self.config.top_k)
+        merged.elapsed_s = span.elapsed_s
+        registry = obs.metrics()
+        if registry.enabled:
+            registry.observe("cloud.parallel.elapsed_s", merged.elapsed_s)
+            for chunk_s in merged.chunk_elapsed_s:
+                registry.observe("cloud.parallel.chunk_elapsed_s", chunk_s)
+        return merged

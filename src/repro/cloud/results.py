@@ -38,13 +38,22 @@ class SearchMatch:
 
 @dataclass
 class SearchResult:
-    """The signal correlation set ``T`` plus search statistics."""
+    """The signal correlation set ``T`` plus search statistics.
+
+    ``heap_admissions`` counts top-K heap entries (pushes + replaces)
+    during the scan.  For a merged parallel search, ``chunk_elapsed_s``
+    holds each chunk's own wall time while ``elapsed_s`` is the true
+    end-to-end latency of the whole partitioned search (both measured
+    by the ``repro.obs`` tracer).
+    """
 
     matches: list[SearchMatch] = field(default_factory=list)
     correlations_evaluated: int = 0
     slices_searched: int = 0
     candidates_above_threshold: int = 0
+    heap_admissions: int = 0
     elapsed_s: float = 0.0
+    chunk_elapsed_s: list[float] = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.matches)

@@ -27,14 +27,14 @@ Two interpretation notes (also in DESIGN.md):
 from __future__ import annotations
 
 import heapq
-import time
 from dataclasses import dataclass
 from typing import Iterable, Protocol
 
 import numpy as np
 
-from repro.errors import SearchError
+from repro import obs
 from repro.cloud.results import SearchMatch, SearchResult
+from repro.errors import SearchError
 from repro.signals.types import FRAME_SAMPLES, SignalSlice
 from repro.signals.windows import WindowedStats
 
@@ -188,26 +188,57 @@ class CorrelationSearch:
         norm = float(np.linalg.norm(centered))
 
         result = SearchResult()
-        started = time.perf_counter()
         # Min-heap of (omega, sequence, match) keeps the global top-K
         # without sorting every candidate.
         heap: list[tuple[float, int, SearchMatch]] = []
         sequence = 0
-        for sig_slice in slices:
-            result.slices_searched += 1
-            best = self._scan_slice(sig_slice, centered, norm, result)
-            for match in best:
-                sequence += 1
-                if len(heap) < self.config.top_k:
-                    heapq.heappush(heap, (match.omega, sequence, match))
-                elif match.omega > heap[0][0]:
-                    heapq.heapreplace(heap, (match.omega, sequence, match))
-        result.elapsed_s = time.perf_counter() - started
+        heap_admissions = 0
+        with obs.trace.span("cloud.search") as span:
+            for sig_slice in slices:
+                result.slices_searched += 1
+                best = self._scan_slice(sig_slice, centered, norm, result)
+                for match in best:
+                    sequence += 1
+                    if len(heap) < self.config.top_k:
+                        heapq.heappush(heap, (match.omega, sequence, match))
+                        heap_admissions += 1
+                    elif match.omega > heap[0][0]:
+                        heapq.heapreplace(heap, (match.omega, sequence, match))
+                        heap_admissions += 1
+        result.elapsed_s = span.elapsed_s
+        result.heap_admissions = heap_admissions
         result.matches = [
             entry[2]
             for entry in sorted(heap, key=lambda item: item[0], reverse=True)
         ]
+        self._publish(result, span)
         return result
+
+    def _publish(self, result: SearchResult, span) -> None:
+        """Record the search's aggregate statistics into the registry.
+
+        Aggregated once per search (never in the per-offset loop) so
+        instrumentation stays off the hot path.
+        """
+        registry = obs.metrics()
+        if not registry.enabled:
+            return
+        span.annotate(
+            slices=result.slices_searched,
+            correlations=result.correlations_evaluated,
+            matches=len(result.matches),
+        )
+        registry.inc("cloud.search.requests")
+        registry.inc("cloud.search.slices_scanned", result.slices_searched)
+        registry.inc(
+            "cloud.search.correlations_evaluated", result.correlations_evaluated
+        )
+        registry.inc(
+            "cloud.search.candidates_above_threshold",
+            result.candidates_above_threshold,
+        )
+        registry.inc("cloud.search.heap_admissions", result.heap_admissions)
+        registry.observe("cloud.search.elapsed_s", result.elapsed_s)
 
     def _scan_slice(
         self,

@@ -8,14 +8,15 @@ via the timing model.
 
 from __future__ import annotations
 
-from repro.errors import SearchError
+import numpy as np
+
+from repro import obs
 from repro.cloud.results import SearchResult
-from repro.cloud.search import SearchConfig, SlidingWindowSearch, CorrelationSearch
+from repro.cloud.search import CorrelationSearch, SearchConfig, SlidingWindowSearch
+from repro.errors import SearchError
 from repro.mdb.mdb import MegaDatabase
 from repro.runtime.timing import TimingBreakdown, TimingModel
 from repro.signals.types import Frame, SignalSlice
-
-import numpy as np
 
 
 class CloudServer:
@@ -41,14 +42,29 @@ class CloudServer:
     def n_slices(self) -> int:
         return len(self._slices)
 
-    def handle_frame(self, frame: Frame | np.ndarray) -> tuple[SearchResult, TimingBreakdown]:
+    def handle_frame(
+        self, frame: Frame | np.ndarray
+    ) -> tuple[SearchResult, TimingBreakdown]:
         """Run one search request; returns (T, Eq. 4 breakdown)."""
-        data = frame.data if isinstance(frame, Frame) else np.asarray(frame, dtype=np.float64)
-        result = self.search_engine.search(data, self._slices)
-        breakdown = self.timing.initial_breakdown(
-            frame_samples=data.size,
-            correlations_evaluated=result.correlations_evaluated,
-            n_signals_downloaded=len(result.matches),
+        data = (
+            frame.data
+            if isinstance(frame, Frame)
+            else np.asarray(frame, dtype=np.float64)
         )
+        with obs.trace.span("cloud.handle_frame", slices=len(self._slices)):
+            result = self.search_engine.search(data, self._slices)
+            breakdown = self.timing.initial_breakdown(
+                frame_samples=data.size,
+                correlations_evaluated=result.correlations_evaluated,
+                n_signals_downloaded=len(result.matches),
+            )
         self.calls_served += 1
+        registry = obs.metrics()
+        if registry.enabled:
+            registry.inc("cloud.server.calls_served")
+            registry.inc("cloud.server.signals_returned", len(result.matches))
+            registry.observe("cloud.server.phase.upload_s", breakdown.upload_s)
+            registry.observe("cloud.server.phase.search_s", breakdown.search_s)
+            registry.observe("cloud.server.phase.download_s", breakdown.download_s)
+            registry.observe("cloud.server.phase.initial_s", breakdown.initial_s)
         return result, breakdown

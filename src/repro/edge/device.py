@@ -11,11 +11,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import TrackingError
+from repro import obs
 from repro.cloud.results import SearchResult
 from repro.edge.acquisition import SignalAcquisition
 from repro.edge.predictor import AnomalyPredictor, PredictorConfig
 from repro.edge.tracker import SignalTracker, TrackerConfig, TrackingStep
+from repro.errors import TrackingError
 from repro.signals.types import Frame, Signal
 
 
@@ -68,12 +69,19 @@ class EdgeDevice:
 
     def acquire(self) -> Frame | None:
         """Sample and filter the next one-second frame."""
-        return self.acquisition.next_frame()
+        frame = self.acquisition.next_frame()
+        if frame is not None:
+            obs.metrics().inc("edge.device.frames_acquired")
+        return frame
 
     def adopt_correlation_set(self, result: SearchResult) -> None:
         """Replace the tracked set with a freshly downloaded ``T``."""
         self.tracker.load(result)
         self.iterations_since_refresh = 0
+        registry = obs.metrics()
+        if registry.enabled:
+            registry.inc("edge.device.set_refreshes")
+            registry.observe("edge.device.set_size", len(result.matches))
 
     def track(self, frame: Frame) -> TrackingStep:
         """One Algorithm 2 iteration + probability observation."""
@@ -92,6 +100,7 @@ class EdgeDevice:
         """Mark that a frame was handed to the cloud (for statistics)."""
         self.cloud_calls_requested += 1
         self.iterations_since_refresh = 0
+        obs.metrics().inc("edge.device.cloud_calls")
 
     def predict(self) -> bool:
         """The current anomaly decision."""

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.errors import TrackingError
 
 
@@ -144,6 +145,12 @@ class AnomalyPredictor:
         self.trace.append(probability, support)
         alpha = self.config.ema_alpha
         self._ema = alpha * probability + (1.0 - alpha) * self._ema
+        registry = obs.metrics()
+        if registry.enabled:
+            registry.inc("edge.predictor.observations")
+            registry.set_gauge("edge.predictor.pa", probability)
+            registry.set_gauge("edge.predictor.ema", self._ema)
+            registry.observe("edge.predictor.pa_estimate", probability)
 
     def current_slope(self) -> float:
         """Robust PA slope over the recent trend window (0 if too short)."""
@@ -163,16 +170,23 @@ class AnomalyPredictor:
         support = self.trace.latest_support
         supported = support < 0 or support >= self.config.min_support
         if latest >= self.config.decisive_level and supported:
-            return True
-        if self.ema >= self.config.ema_level:
-            return True
-        if len(self.trace) < 2:
-            return False
-        return (
-            self.current_slope() >= self.config.min_slope
-            and latest >= self.config.min_level
-            and supported
-        )
+            decision = True
+        elif self.ema >= self.config.ema_level:
+            decision = True
+        elif len(self.trace) < 2:
+            decision = False
+        else:
+            decision = (
+                self.current_slope() >= self.config.min_slope
+                and latest >= self.config.min_level
+                and supported
+            )
+        registry = obs.metrics()
+        if registry.enabled:
+            registry.inc("edge.predictor.predictions")
+            if decision:
+                registry.inc("edge.predictor.predictions_anomalous")
+        return decision
 
     def reset(self) -> None:
         """Clear the trace (new monitoring session)."""

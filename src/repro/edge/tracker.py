@@ -26,8 +26,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import TrackingError
+from repro import obs
 from repro.cloud.results import SearchMatch, SearchResult
+from repro.errors import TrackingError
 from repro.signals.metrics import sliding_area, sliding_area_normalized
 from repro.signals.types import FRAME_SAMPLES, Frame, SignalSlice
 
@@ -189,31 +190,32 @@ class SignalTracker:
         survivors: list[TrackedSignal] = []
         removed: list[TrackedSignal] = []
         evaluations = 0
-        for signal in self._tracked:
-            if len(signal.sig_slice) < self.config.frame_samples:
-                removed.append(signal)
-                continue
-            if self.config.reference_rms is not None:
-                areas = sliding_area_normalized(
-                    data,
-                    signal.sig_slice.data,
-                    self.config.reference_rms,
-                    stride=self.config.offset_stride,
-                )
-            else:
-                areas = sliding_area(
-                    data, signal.sig_slice.data, stride=self.config.offset_stride
-                )
-            evaluations += areas.size
-            best = int(np.argmin(areas))
-            signal.last_area = float(areas[best])
-            if signal.last_area > self.config.area_threshold:
-                removed.append(signal)
-            else:
-                signal.offset = best * self.config.offset_stride
-                survivors.append(signal)
+        with obs.trace.span("edge.track_step", tracked=tracked_before) as span:
+            for signal in self._tracked:
+                if len(signal.sig_slice) < self.config.frame_samples:
+                    removed.append(signal)
+                    continue
+                if self.config.reference_rms is not None:
+                    areas = sliding_area_normalized(
+                        data,
+                        signal.sig_slice.data,
+                        self.config.reference_rms,
+                        stride=self.config.offset_stride,
+                    )
+                else:
+                    areas = sliding_area(
+                        data, signal.sig_slice.data, stride=self.config.offset_stride
+                    )
+                evaluations += areas.size
+                best = int(np.argmin(areas))
+                signal.last_area = float(areas[best])
+                if signal.last_area > self.config.area_threshold:
+                    removed.append(signal)
+                else:
+                    signal.offset = best * self.config.offset_stride
+                    survivors.append(signal)
         self._tracked = survivors
-        return TrackingStep(
+        step = TrackingStep(
             iteration=self._iteration,
             tracked_before=tracked_before,
             removed=len(removed),
@@ -221,3 +223,20 @@ class SignalTracker:
             anomaly_probability=self.anomaly_probability(),
             removed_signals=removed,
         )
+        self._publish(step, span.elapsed_s)
+        return step
+
+    def _publish(self, step: TrackingStep, elapsed_s: float) -> None:
+        """Record one iteration's aggregates (once per step, post-loop)."""
+        registry = obs.metrics()
+        if not registry.enabled:
+            return
+        registry.inc("edge.tracker.iterations")
+        registry.inc("edge.tracker.area_evaluations", step.area_evaluations)
+        registry.inc("edge.tracker.candidates_pruned", step.removed)
+        registry.set_gauge("edge.tracker.tracked", step.tracked_after)
+        registry.observe("edge.tracker.step_s", elapsed_s)
+        if elapsed_s > 0:
+            registry.observe(
+                "edge.tracker.evaluations_per_s", step.area_evaluations / elapsed_s
+            )

@@ -67,3 +67,7 @@ class NetworkError(EMAPError):
 
 class FrameworkError(EMAPError):
     """The closed-loop EMAP framework hit an unrecoverable state."""
+
+
+class ObservabilityError(EMAPError):
+    """A metrics, tracing, or profiling operation was misused."""

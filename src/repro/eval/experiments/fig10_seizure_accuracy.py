@@ -15,8 +15,8 @@ import numpy as np
 
 from repro.baselines.base import balanced_subsample, windows_from_signals
 from repro.baselines.samie_iot import IoTSeizurePredictor
-from repro.cloud.server import CloudServer
 from repro.cloud.search import SearchConfig, SlidingWindowSearch
+from repro.cloud.server import CloudServer
 from repro.errors import EMAPError
 from repro.eval.batches import BatchSpec, make_anomaly_batches
 from repro.eval.experiments.common import (

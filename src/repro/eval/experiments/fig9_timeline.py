@@ -12,8 +12,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.cloud.server import CloudServer
 from repro.cloud.search import SearchConfig, SlidingWindowSearch
+from repro.cloud.server import CloudServer
 from repro.errors import EMAPError
 from repro.eval.experiments.common import ExperimentFixture, build_fixture
 from repro.eval.reporting import format_table
@@ -97,7 +97,9 @@ def run(
         timing=timing,
     )
     framework = EMAPFramework(cloud, FrameworkConfig())
-    spec = AnomalySpec(kind=AnomalyType.SEIZURE, onset_s=0.8 * duration_s, buildup_s=0.7 * duration_s)
+    spec = AnomalySpec(
+        kind=AnomalyType.SEIZURE, onset_s=0.8 * duration_s, buildup_s=0.7 * duration_s
+    )
     patient = make_anomalous_signal(
         EEGGenerator(seed=input_seed), duration_s, spec, source="fig9/input"
     )

@@ -15,8 +15,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.cloud.server import CloudServer
 from repro.cloud.search import SearchConfig, SlidingWindowSearch
+from repro.cloud.server import CloudServer
 from repro.errors import EMAPError
 from repro.eval.experiments.common import (
     ExperimentFixture,

@@ -27,8 +27,8 @@ from repro.baselines.base import (
     balanced_subsample,
     windows_from_signals,
 )
-from repro.cloud.server import CloudServer
 from repro.cloud.search import SearchConfig, SlidingWindowSearch
+from repro.cloud.server import CloudServer
 from repro.datasets.base import SyntheticCorpus
 from repro.datasets.physionet_like import physionet_like_spec
 from repro.errors import EMAPError

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.errors import NetworkError
 from repro.network.payload import frame_payload_bits, signal_set_payload_bits
 from repro.network.platforms import CommunicationPlatform, get_platform
@@ -36,14 +37,26 @@ class NetworkLink:
         if payload_bits <= 0:
             raise NetworkError(f"payload must be positive, got {payload_bits}")
         rate = self.platform.uplink_mbps * 1e6
-        return self.platform.setup_latency_s + payload_bits / rate
+        elapsed_s = self.platform.setup_latency_s + payload_bits / rate
+        registry = obs.metrics()
+        if registry.enabled:
+            registry.inc("network.uploads")
+            registry.inc("network.bytes_up", (payload_bits + 7) // 8)
+            registry.observe("network.upload_s", elapsed_s)
+        return elapsed_s
 
     def download_time_s(self, payload_bits: int) -> float:
         """Time to pull ``payload_bits`` down from the cloud."""
         if payload_bits <= 0:
             raise NetworkError(f"payload must be positive, got {payload_bits}")
         rate = self.platform.downlink_mbps * 1e6
-        return self.platform.setup_latency_s + payload_bits / rate
+        elapsed_s = self.platform.setup_latency_s + payload_bits / rate
+        registry = obs.metrics()
+        if registry.enabled:
+            registry.inc("network.downloads")
+            registry.inc("network.bytes_down", (payload_bits + 7) // 8)
+            registry.observe("network.download_s", elapsed_s)
+        return elapsed_s
 
     def frame_upload_time_s(self, n_samples: int) -> float:
         """ΔEC: upload time for an ``n_samples`` frame."""

@@ -1,0 +1,128 @@
+"""Opt-in profiling hooks for the hot paths.
+
+Two granularities:
+
+* :class:`NsTimer` — a ``perf_counter_ns`` sampling timer for regions
+  too hot to trace on every call: it times only every ``sample_every``-th
+  invocation and feeds the samples to a registry histogram, so steady
+  state costs one integer increment per call.
+* :func:`profile_block` — a full ``cProfile`` capture around a block,
+  summarised to the top functions by cumulative time.  Heavyweight, so
+  it is guarded by its own switch on top of the obs enable flag; the
+  captured summaries are retained for the ``emap obs`` export.
+
+Both degrade to near-zero cost when profiling is off.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import time
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
+
+#: Profile summaries retained for export (oldest dropped first).
+MAX_RETAINED_PROFILES = 32
+
+
+class NsTimer:
+    """Sampling nanosecond timer around a hot call site.
+
+    ::
+
+        timer = NsTimer("edge.area_scan", registry, sample_every=16)
+        ...
+        with timer:
+            scan()
+
+    Only every ``sample_every``-th entry is actually timed; the rest
+    cost a single counter increment and branch.
+    """
+
+    __slots__ = ("name", "registry", "sample_every", "calls", "_start_ns")
+
+    def __init__(
+        self,
+        name: str,
+        registry: "MetricsRegistry",
+        sample_every: int = 16,
+    ) -> None:
+        self.name = name
+        self.registry = registry
+        self.sample_every = max(1, int(sample_every))
+        self.calls = 0
+        self._start_ns = 0
+
+    def __enter__(self) -> "NsTimer":
+        self.calls += 1
+        if self.registry.enabled and self.calls % self.sample_every == 0:
+            self._start_ns = time.perf_counter_ns()
+        else:
+            self._start_ns = 0
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._start_ns:
+            elapsed_s = (time.perf_counter_ns() - self._start_ns) * 1e-9
+            self.registry.observe(f"obs.timer.{self.name}.s", elapsed_s)
+
+
+class ProfileStore:
+    """Retains cProfile summaries captured by :func:`profile_block`."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._summaries: list[dict] = []
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def add(self, name: str, elapsed_s: float, top_functions: str) -> None:
+        self._summaries.append(
+            {"name": name, "elapsed_s": elapsed_s, "top_functions": top_functions}
+        )
+        if len(self._summaries) > MAX_RETAINED_PROFILES:
+            del self._summaries[: len(self._summaries) - MAX_RETAINED_PROFILES]
+
+    def export(self) -> list[dict]:
+        return list(self._summaries)
+
+    def reset(self) -> None:
+        self._summaries.clear()
+
+
+@contextmanager
+def profile_block(
+    name: str,
+    store: ProfileStore,
+    limit: int = 25,
+    sort: str = "cumulative",
+) -> Iterator[None]:
+    """cProfile the block when the store's profiling switch is on.
+
+    When off, the only cost is one attribute check — the block runs
+    uninstrumented.
+    """
+    if not store.enabled:
+        yield
+        return
+    profiler = cProfile.Profile()
+    start_ns = time.perf_counter_ns()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        elapsed_s = (time.perf_counter_ns() - start_ns) * 1e-9
+        buffer = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buffer)
+        stats.sort_stats(sort).print_stats(limit)
+        store.add(name, elapsed_s, buffer.getvalue())

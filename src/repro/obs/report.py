@@ -1,0 +1,77 @@
+"""Human-readable rendering of an exported observability document.
+
+The ``emap obs`` subcommand prints this; ``--json`` bypasses it and
+emits the raw :func:`repro.obs.export` document instead.
+"""
+
+from __future__ import annotations
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    if abs(value) >= 0.01:
+        return f"{value:.4f}"
+    return f"{value:.3e}"
+
+
+def _span_lines(span: dict, depth: int, lines: list[str]) -> None:
+    pad = "  " * depth
+    meta = ", ".join(f"{k}={v}" for k, v in sorted(span["metadata"].items()))
+    suffix = f"  [{meta}]" if meta else ""
+    lines.append(f"{pad}{span['name']:<28} {span['elapsed_s'] * 1e3:9.3f} ms{suffix}")
+    for child in span["children"]:
+        _span_lines(child, depth + 1, lines)
+
+
+def format_report(document: dict, max_spans: int = 10) -> str:
+    """Render one :func:`repro.obs.export` document as a text report."""
+    metrics = document.get("metrics", {})
+    lines: list[str] = ["== observability report =="]
+
+    counters = metrics.get("counters", {})
+    if counters:
+        lines.append("\n-- counters --")
+        for name, value in counters.items():
+            lines.append(f"{name:<44} {_format_value(value):>12}")
+
+    gauges = metrics.get("gauges", {})
+    if gauges:
+        lines.append("\n-- gauges --")
+        for name, value in gauges.items():
+            lines.append(f"{name:<44} {_format_value(value):>12}")
+
+    histograms = metrics.get("histograms", {})
+    if histograms:
+        lines.append("\n-- histograms --")
+        header = (
+            f"{'name':<40} {'count':>7} {'mean':>11} {'p50':>11} "
+            f"{'p95':>11} {'p99':>11} {'max':>11}"
+        )
+        lines.append(header)
+        for name, summary in histograms.items():
+            lines.append(
+                f"{name:<40} {summary['count']:>7} "
+                f"{summary['mean']:>11.4g} {summary['p50']:>11.4g} "
+                f"{summary['p95']:>11.4g} {summary['p99']:>11.4g} "
+                f"{summary['max']:>11.4g}"
+            )
+
+    spans = document.get("spans", [])
+    if spans:
+        lines.append(f"\n-- last root spans (up to {max_spans}) --")
+        for span in spans[-max_spans:]:
+            _span_lines(span, 0, lines)
+
+    profiles = document.get("profiles", [])
+    if profiles:
+        lines.append("\n-- cProfile captures --")
+        for profile in profiles:
+            lines.append(
+                f"[{profile['name']} — {profile['elapsed_s'] * 1e3:.1f} ms]"
+            )
+            lines.append(profile["top_functions"].rstrip())
+
+    if len(lines) == 1:
+        lines.append("(no metrics recorded — was observability enabled?)")
+    return "\n".join(lines)

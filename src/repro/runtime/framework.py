@@ -19,8 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.errors import FrameworkError
+from repro import obs
 from repro.edge.device import CloudCallPolicy, EdgeDevice
+from repro.errors import FrameworkError
 
 if TYPE_CHECKING:  # avoid a circular import with repro.cloud.server
     from repro.cloud.results import SearchResult
@@ -61,6 +62,7 @@ class MonitoringResult:
     cloud_calls: int = 0
     initial_latency_s: float = 0.0
     iterations: int = 0
+    deadline_misses: int = 0
     events: EventLog = field(default_factory=EventLog)
 
     @property
@@ -98,6 +100,17 @@ class EMAPFramework:
 
     def run(self, recording: Signal) -> MonitoringResult:
         """Monitor a recording end to end; returns the session result."""
+        with obs.trace.span("runtime.session"):
+            result = self._run(recording)
+        registry = obs.metrics()
+        if registry.enabled:
+            registry.inc("runtime.sessions")
+            registry.inc("runtime.loop.iterations", result.iterations)
+            registry.inc("runtime.loop.deadline_misses", result.deadline_misses)
+            registry.observe("runtime.initial_latency_s", result.initial_latency_s)
+        return result
+
+    def _run(self, recording: Signal) -> MonitoringResult:
         edge = EdgeDevice(
             recording,
             tracker_config=self.config.tracker,
@@ -153,6 +166,7 @@ class EMAPFramework:
             result.iterations += 1
             result.pa_series.append(step.anomaly_probability)
             result.tracked_counts.append(step.tracked_after)
+            self._check_loop_budget(step.area_evaluations, result)
             prediction = edge.predict()
             result.predictions.append(prediction)
             log.record(
@@ -174,6 +188,25 @@ class EMAPFramework:
                 pending = self._dispatch(edge, frame, clock.now_s, log, result)
 
         return result
+
+    def _check_loop_budget(
+        self, area_evaluations: int, result: MonitoringResult
+    ) -> None:
+        """Score one iteration against the per-second loop budget.
+
+        The edge must finish each tracking iteration inside one tick
+        (Section V-C: ~900 ms of a 1 s budget); the device cost model
+        converts the iteration's area evaluations to edge seconds, and
+        an iteration over budget is a deadline miss.
+        """
+        edge_s = self.cloud.timing.tracking_iteration_s(area_evaluations)
+        budget = self.config.tick_s
+        if edge_s > budget:
+            result.deadline_misses += 1
+        registry = obs.metrics()
+        if registry.enabled:
+            registry.observe("runtime.loop.budget_used", edge_s / budget)
+            registry.observe("runtime.loop.edge_iteration_s", edge_s)
 
     def _dispatch(
         self,

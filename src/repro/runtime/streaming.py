@@ -12,13 +12,13 @@ framework (the test suite asserts trace equivalence).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from typing import TYPE_CHECKING
-
-from repro.errors import FrameworkError, SignalError
+from repro import obs
 from repro.edge.device import CloudCallPolicy
+from repro.errors import FrameworkError, SignalError
 
 if TYPE_CHECKING:  # avoid a circular import with repro.cloud.server
     from repro.cloud.server import CloudServer
@@ -109,6 +109,23 @@ class StreamingMonitor:
         return emitted
 
     def _handle_frame(self, data: np.ndarray) -> MonitorUpdate:
+        with obs.trace.span("runtime.stream_frame") as span:
+            update = self._process_frame(data)
+        registry = obs.metrics()
+        if registry.enabled:
+            registry.inc("runtime.stream.frames")
+            registry.observe("runtime.stream.frame_s", span.elapsed_s)
+            # The live loop budget: each one-second frame must be fully
+            # handled in under a second of host wall time.
+            frame_budget_s = self.config.frame_samples / BASE_SAMPLE_RATE_HZ
+            registry.observe(
+                "runtime.loop.budget_used", span.elapsed_s / frame_budget_s
+            )
+            if span.elapsed_s > frame_budget_s:
+                registry.inc("runtime.loop.deadline_misses")
+        return update
+
+    def _process_frame(self, data: np.ndarray) -> MonitorUpdate:
         frame = Frame(
             data=data,
             index=self._frame_index,
@@ -149,6 +166,7 @@ class StreamingMonitor:
             self._iterations_since_refresh = 0
             self.cloud_calls += 1
             issued = True
+            obs.metrics().inc("edge.device.cloud_calls")
 
         return MonitorUpdate(
             frame_index=frame.index,

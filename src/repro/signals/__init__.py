@@ -20,6 +20,18 @@ This subpackage implements everything EMAP assumes about EEG signals:
   normalise sliding windows in O(1).
 """
 
+from repro.signals.anomalies import AnomalySpec, inject_anomaly
+from repro.signals.filters import BandpassFilter, FilterSpec, StreamingFIRFilter
+from repro.signals.generator import BackgroundSpec, EEGGenerator
+from repro.signals.metrics import (
+    area_between_curves,
+    cross_correlation,
+    normalized_cross_correlation,
+)
+from repro.signals.montage import TEN_TWENTY_ELECTRODES, MultiChannelRecording
+from repro.signals.quality import FrameQuality, QualityAssessor, QualityThresholds
+from repro.signals.resample import resample_to
+from repro.signals.slicing import slice_signal
 from repro.signals.types import (
     ANOMALY_TYPES,
     BASE_SAMPLE_RATE_HZ,
@@ -30,18 +42,6 @@ from repro.signals.types import (
     Signal,
     SignalSlice,
 )
-from repro.signals.filters import BandpassFilter, FilterSpec, StreamingFIRFilter
-from repro.signals.generator import BackgroundSpec, EEGGenerator
-from repro.signals.anomalies import AnomalySpec, inject_anomaly
-from repro.signals.metrics import (
-    area_between_curves,
-    cross_correlation,
-    normalized_cross_correlation,
-)
-from repro.signals.montage import MultiChannelRecording, TEN_TWENTY_ELECTRODES
-from repro.signals.quality import FrameQuality, QualityAssessor, QualityThresholds
-from repro.signals.resample import resample_to
-from repro.signals.slicing import slice_signal
 
 __all__ = [
     "ANOMALY_TYPES",

@@ -28,8 +28,8 @@ from dataclasses import dataclass
 import numpy as np  # noqa: F401  (re-exported in type signatures)
 
 from repro.errors import SignalError
-from repro.signals.types import AnomalyType, Signal
 from repro.signals.generator import EEGGenerator
+from repro.signals.types import AnomalyType, Signal
 
 #: Default repetition rate of the class-canonical transient train (Hz).
 DEFAULT_RATES_HZ: dict[AnomalyType, float] = {

@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 
 from repro.cloud.results import SearchMatch, SearchResult
 from repro.cloud.search import (
-    CorrelationSearch,
     ExhaustiveSearch,
     ExponentialSkipPolicy,
     FixedSkipPolicy,
@@ -16,7 +15,6 @@ from repro.cloud.search import (
 )
 from repro.errors import SearchError
 from repro.eval.experiments.common import filtered_frame
-from repro.signals.metrics import sliding_normalized_correlation
 from repro.signals.types import AnomalyType, SignalSlice
 
 

@@ -6,7 +6,6 @@ import pytest
 from repro.cloud.results import SearchMatch, SearchResult
 from repro.edge.tracker import (
     DEFAULT_AREA_THRESHOLD,
-    TRACKING_REFERENCE_RMS,
     SignalTracker,
     TrackerConfig,
 )

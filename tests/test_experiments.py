@@ -6,6 +6,7 @@ These use reduced workloads; the full-scale reproductions live in
 
 import pytest
 
+from repro.errors import EMAPError
 from repro.eval.batches import BatchSpec
 from repro.eval.experiments import (
     fig2_motivation,
@@ -22,7 +23,6 @@ from repro.eval.experiments.common import (
     filtered_frame,
     sustained_prediction_iteration,
 )
-from repro.errors import EMAPError
 from repro.signals.generator import EEGGenerator
 
 

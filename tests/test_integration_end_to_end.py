@@ -8,8 +8,8 @@ prediction, plus persistence of the built MDB.
 import numpy as np
 import pytest
 
-from repro.cloud.server import CloudServer
 from repro.cloud.search import SearchConfig, SlidingWindowSearch
+from repro.cloud.server import CloudServer
 from repro.edge.tracker import SignalTracker
 from repro.eval.experiments.common import filtered_frame
 from repro.mdb.mdb import MegaDatabase

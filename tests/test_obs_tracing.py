@@ -1,0 +1,175 @@
+"""Unit tests for the repro.obs tracer, facade, and no-op overhead."""
+
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import MAX_RETAINED_ROOTS, Tracer
+
+
+@pytest.fixture
+def tracer():
+    return Tracer(registry=MetricsRegistry(enabled=True), enabled=True)
+
+
+@pytest.fixture
+def facade():
+    """The process-wide facade, enabled for one test and cleaned after."""
+    obs.reset()
+    obs.enable()
+    yield obs
+    obs.disable()
+    obs.reset()
+
+
+class TestSpan:
+    def test_span_measures_elapsed_time(self, tracer):
+        with tracer.span("work") as span:
+            time.sleep(0.01)
+        assert span.elapsed_s >= 0.01
+        assert span.elapsed_s < 1.0
+
+    def test_elapsed_is_zero_before_finish(self, tracer):
+        span = tracer.span("open")
+        assert span.elapsed_s == 0.0
+
+    def test_metadata_and_annotate(self, tracer):
+        with tracer.span("search", slices=420) as span:
+            span.annotate(evaluated=17)
+        assert span.metadata == {"slices": 420, "evaluated": 17}
+
+    def test_nested_spans_build_a_tree(self, tracer):
+        with tracer.span("parent") as parent:
+            with tracer.span("child_a"):
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("child_b"):
+                pass
+        assert [child.name for child in parent.children] == ["child_a", "child_b"]
+        assert parent.children[0].children[0].name == "grandchild"
+        roots = tracer.roots()
+        assert [root.name for root in roots] == ["parent"]
+
+    def test_export_is_json_shaped(self, tracer):
+        with tracer.span("root", phase="scan"):
+            with tracer.span("inner"):
+                pass
+        (document,) = tracer.export()
+        assert document["name"] == "root"
+        assert document["metadata"] == {"phase": "scan"}
+        assert document["children"][0]["name"] == "inner"
+        assert document["elapsed_s"] > 0.0
+
+    def test_finished_spans_feed_registry_histograms(self, tracer):
+        with tracer.span("cloud.search"):
+            pass
+        histogram = tracer.registry.histogram("obs.span.cloud.search.s")
+        assert histogram is not None and histogram.count == 1
+
+
+class TestDisabledMode:
+    def test_disabled_span_still_measures_time(self):
+        """SearchResult.elapsed_s is built on this — see tracing docstring."""
+        tracer = Tracer(registry=MetricsRegistry(enabled=False), enabled=False)
+        with tracer.span("work") as span:
+            time.sleep(0.005)
+        assert span.elapsed_s >= 0.005
+
+    def test_disabled_tracer_retains_nothing(self):
+        registry = MetricsRegistry(enabled=False)
+        tracer = Tracer(registry=registry, enabled=False)
+        with tracer.span("work"):
+            pass
+        assert tracer.roots() == []
+        assert registry.names() == []
+
+    def test_disable_mid_span_does_not_corrupt_stack(self, tracer):
+        with tracer.span("outer"):
+            tracer.disable()
+            with tracer.span("ignored"):
+                pass
+        tracer.enable()
+        with tracer.span("after"):
+            pass
+        assert tracer.active_span is None
+
+    def test_no_op_overhead_is_small(self):
+        """Disabled instruments must stay cheap enough for hot loops."""
+        registry = MetricsRegistry(enabled=False)
+        n = 200_000
+        start = time.perf_counter()
+        for _ in range(n):
+            registry.inc("hot.counter")
+            registry.observe("hot.latency_s", 1.0)
+        elapsed = time.perf_counter() - start
+        # Two disabled calls per iteration; generous bound (~µs/call)
+        # that still catches accidental lock/allocation on the no-op path.
+        assert elapsed / (2 * n) < 2e-6
+
+
+class TestThreading:
+    def test_span_stacks_are_per_thread(self, tracer):
+        barrier = threading.Barrier(2)
+        failures = []
+
+        def worker(name):
+            try:
+                with tracer.span(name) as span:
+                    barrier.wait(timeout=5)
+                    assert tracer.active_span is span
+                    barrier.wait(timeout=5)
+                assert not span.children
+            except Exception as error:  # pragma: no cover - diagnostic
+                failures.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{i}",)) for i in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+        assert sorted(root.name for root in tracer.roots()) == ["t0", "t1"]
+
+    def test_root_retention_is_bounded(self, tracer):
+        for i in range(MAX_RETAINED_ROOTS + 10):
+            with tracer.span(f"s{i}"):
+                pass
+        roots = tracer.roots()
+        assert len(roots) == MAX_RETAINED_ROOTS
+        assert roots[-1].name == f"s{MAX_RETAINED_ROOTS + 9}"
+
+
+class TestFacade:
+    def test_enable_disable_round_trip(self, facade):
+        assert facade.enabled()
+        facade.metrics().inc("a.count")
+        with facade.trace.span("a.span"):
+            pass
+        facade.disable()
+        assert not facade.enabled()
+        facade.metrics().inc("a.count")  # ignored
+        assert facade.metrics().counter_value("a.count") == 1
+
+    def test_export_document_shape(self, facade):
+        facade.metrics().inc("cloud.search.requests")
+        with facade.trace.span("cloud.search"):
+            pass
+        document = facade.export()
+        assert document["enabled"] is True
+        assert document["metrics"]["counters"]["cloud.search.requests"] == 1
+        assert document["spans"][0]["name"] == "cloud.search"
+        assert document["profiles"] == []
+
+    def test_reset_clears_all_stores(self, facade):
+        facade.metrics().inc("a")
+        with facade.trace.span("b"):
+            pass
+        facade.reset()
+        document = facade.export()
+        assert document["metrics"]["counters"] == {}
+        assert document["spans"] == []

@@ -172,7 +172,9 @@ class TestSlidingAreaNormalized:
     def test_zero_for_scaled_shifted_copy(self):
         rng = np.random.default_rng(7)
         window = rng.standard_normal(32)
-        series = np.concatenate([rng.standard_normal(20), 5.0 * window + 3.0, rng.standard_normal(20)])
+        series = np.concatenate(
+            [rng.standard_normal(20), 5.0 * window + 3.0, rng.standard_normal(20)]
+        )
         areas = sliding_area_normalized(window, series, reference_rms=7.0)
         assert int(np.argmin(areas)) == 20
         assert areas[20] == pytest.approx(0.0, abs=1e-6)

@@ -11,7 +11,7 @@ from repro.signals.montage import (
     hemisphere,
     is_ten_twenty,
 )
-from repro.signals.quality import FrameQuality, QualityAssessor, QualityThresholds
+from repro.signals.quality import QualityAssessor, QualityThresholds
 from repro.signals.types import Signal
 
 
