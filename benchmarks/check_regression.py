@@ -1,9 +1,10 @@
-"""CI benchmark-regression gate for the Fig. 7(b) search-scaling bench.
+"""CI benchmark-regression gates: Fig. 7(b) scaling + plane throughput.
 
-Runs the exploration-time scaling experiment (exhaustive vs
-Algorithm 1) with the ``repro.obs`` layer enabled, exports the
-collected metrics document, and compares the run against a committed
-baseline (``benchmarks/baselines/fig7b.json``).  The gate fails when:
+**Fig. 7(b) gate** — runs the exploration-time scaling experiment
+(exhaustive vs Algorithm 1) with the ``repro.obs`` layer enabled,
+exports the collected metrics document, and compares the run against a
+committed baseline (``benchmarks/baselines/fig7b.json``).  It fails
+when:
 
 * **correlations evaluated** by either engine at any database size
   drift by more than ``--threshold`` (default 20 %) — the search is
@@ -17,7 +18,20 @@ baseline (``benchmarks/baselines/fig7b.json``).  The gate fails when:
   against the baseline (only meaningful when baseline and run share
   hardware).
 
-Regenerate the baseline after an intentional change with::
+**Plane-throughput gate** — serves the same request stream through the
+legacy per-request path and the compiled
+:class:`~repro.cloud.plane.SearchPlane`
+(``benchmarks/baselines/plane_throughput.json``).  It fails when:
+
+* the two arms stop being **bit-identical** (matches or
+  ``correlations_evaluated`` diverge) — never acceptable;
+* ``correlations_per_query`` drifts from the baseline (deterministic,
+  so drift is an algorithmic change);
+* the plane speedup falls below the **3x absolute floor** — like the
+  Fig. 7(b) speedup ratio this is self-normalising (both arms run on
+  the same host), so no baseline hardware match is needed.
+
+Regenerate the baselines after an intentional change with::
 
     python benchmarks/check_regression.py --update
 
@@ -40,8 +54,13 @@ from repro.eval.experiments import fig7_alpha_sweep  # noqa: E402
 from repro.eval.experiments.common import build_fixture  # noqa: E402
 
 DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baselines" / "fig7b.json"
+DEFAULT_PLANE_BASELINE = (
+    REPO_ROOT / "benchmarks" / "baselines" / "plane_throughput.json"
+)
 DEFAULT_METRICS_OUT = REPO_ROOT / "benchmark_reports" / "fig7b_obs_metrics.json"
 DEFAULT_DB_SIZES = (500, 1000, 2000)
+PLANE_SPEEDUP_FLOOR = 3.0
+PLANE_N_QUERIES = 12
 
 
 def run_benchmark(mdb_scale: float, seed: int, db_sizes: tuple[int, ...]) -> dict:
@@ -65,6 +84,15 @@ def run_benchmark(mdb_scale: float, seed: int, db_sizes: tuple[int, ...]) -> dic
         "mean_correlation_reduction": result.mean_correlation_reduction,
     }
     return summary
+
+
+def run_plane_benchmark(mdb_scale: float, seed: int) -> dict:
+    """One plane-throughput run, summarised for baseline/compare."""
+    import plane_throughput
+
+    fixture = build_fixture(mdb_scale=mdb_scale, seed=seed)
+    result = plane_throughput.run_throughput(fixture, n_queries=PLANE_N_QUERIES)
+    return plane_throughput.summarize(result, mdb_scale=mdb_scale, seed=seed)
 
 
 def relative_drift(current: float, baseline: float) -> float:
@@ -121,9 +149,41 @@ def compare(
     return failures
 
 
+def compare_plane(summary: dict, baseline: dict) -> list[str]:
+    """Gate failures for the plane-throughput bench (empty = pass)."""
+    failures: list[str] = []
+    if not summary["identical"]:
+        failures.append(
+            "plane results diverged from the legacy path — matches or "
+            "correlations_evaluated are no longer bit-identical"
+        )
+    if summary["correlations_per_query"] != baseline["correlations_per_query"]:
+        failures.append(
+            "correlations_per_query drifted from baseline "
+            f"({summary['correlations_per_query']} vs "
+            f"{baseline['correlations_per_query']}) — the search is "
+            "deterministic, so this is an algorithmic change"
+        )
+    if summary["speedup"] < PLANE_SPEEDUP_FLOOR:
+        failures.append(
+            f"plane speedup {summary['speedup']:.2f}x fell below the "
+            f"{PLANE_SPEEDUP_FLOOR:.0f}x floor (baseline "
+            f"{baseline['speedup']:.2f}x) — serving-path regression"
+        )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument(
+        "--plane-baseline", type=Path, default=DEFAULT_PLANE_BASELINE
+    )
+    parser.add_argument(
+        "--skip-plane",
+        action="store_true",
+        help="gate only the Fig. 7(b) bench",
+    )
     parser.add_argument(
         "--update", action="store_true", help="rewrite the baseline and exit 0"
     )
@@ -163,21 +223,50 @@ def main(argv: list[str] | None = None) -> int:
         )
     )
 
+    plane_summary = None
+    if not args.skip_plane:
+        plane_summary = run_plane_benchmark(args.mdb_scale, args.seed)
+        print(
+            "plane: speedup {0:.2f}x ({1} queries, identical={2})".format(
+                plane_summary["speedup"],
+                plane_summary["n_queries"],
+                plane_summary["identical"],
+            )
+        )
+
     if args.update:
         args.baseline.parent.mkdir(parents=True, exist_ok=True)
         args.baseline.write_text(json.dumps(summary, indent=2) + "\n")
         print(f"baseline updated: {args.baseline}")
+        if plane_summary is not None:
+            args.plane_baseline.parent.mkdir(parents=True, exist_ok=True)
+            args.plane_baseline.write_text(
+                json.dumps(plane_summary, indent=2) + "\n"
+            )
+            print(f"baseline updated: {args.plane_baseline}")
         return 0
 
-    if not args.baseline.exists():
-        print(
-            f"no baseline at {args.baseline}; run with --update to create one",
-            file=sys.stderr,
+    missing = [
+        path
+        for path in (
+            [args.baseline]
+            + ([args.plane_baseline] if plane_summary is not None else [])
         )
+        if not path.exists()
+    ]
+    if missing:
+        for path in missing:
+            print(
+                f"no baseline at {path}; run with --update to create one",
+                file=sys.stderr,
+            )
         return 2
 
     baseline = json.loads(args.baseline.read_text())
     failures = compare(summary, baseline, args.threshold, args.strict_time)
+    if plane_summary is not None:
+        plane_baseline = json.loads(args.plane_baseline.read_text())
+        failures += compare_plane(plane_summary, plane_baseline)
     if failures:
         print("benchmark regression gate FAILED:", file=sys.stderr)
         for failure in failures:
@@ -185,7 +274,13 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     print(
         f"benchmark regression gate passed "
-        f"(±{args.threshold:.0%} vs {args.baseline.name})"
+        f"(±{args.threshold:.0%} vs {args.baseline.name}"
+        + (
+            f", {PLANE_SPEEDUP_FLOOR:.0f}x floor vs {args.plane_baseline.name}"
+            if plane_summary is not None
+            else ""
+        )
+        + ")"
     )
     return 0
 

@@ -1,0 +1,27 @@
+"""Bench: serving throughput, compiled plane vs legacy per-request path.
+
+The acceptance bar for the serving plane: plane-backed request
+handling is at least 3x faster than recomputing per request at the
+Fig. 7(b) MDB size, with bit-identical matches and
+``correlations_evaluated``.
+"""
+
+import plane_throughput
+
+N_QUERIES = 12
+
+
+def test_bench_plane_throughput(benchmark, fixture, save_report):
+    result = benchmark.pedantic(
+        plane_throughput.run_throughput,
+        kwargs={"fixture": fixture, "n_queries": N_QUERIES},
+        rounds=1,
+        iterations=1,
+    )
+    save_report("plane_throughput", result.report())
+    assert result.identical  # the plane must not change any result
+    assert result.speedup >= 3.0
+    # One query evaluates the same number of correlations either way,
+    # and the walk is deterministic across requests of the same stream.
+    assert len(result.correlations_per_query) == N_QUERIES
+    assert all(count > 0 for count in result.correlations_per_query)

@@ -72,6 +72,12 @@ def _build_parser() -> argparse.ArgumentParser:
     monitor.add_argument("--duration", type=float, default=60.0)
     monitor.add_argument("--mdb-scale", type=float, default=0.3)
     monitor.add_argument("--seed", type=int, default=0)
+    monitor.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="search worker processes (>1 uses the shared-memory pool)",
+    )
 
     obs_cmd = subparsers.add_parser(
         "obs",
@@ -94,6 +100,12 @@ def _build_parser() -> argparse.ArgumentParser:
     obs_cmd.add_argument("--duration", type=float, default=40.0)
     obs_cmd.add_argument("--mdb-scale", type=float, default=0.2)
     obs_cmd.add_argument("--seed", type=int, default=0)
+    obs_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="search worker processes (>1 uses the shared-memory pool)",
+    )
     obs_cmd.add_argument(
         "--chunk-samples",
         type=int,
@@ -203,9 +215,6 @@ def _cmd_monitor(args) -> str:
     from repro.signals.generator import EEGGenerator
     from repro.signals.types import AnomalyType
 
-    pipeline = build_pipeline(
-        PipelineConfig(mdb_scale=args.mdb_scale, seed=args.seed, with_artifacts=False)
-    )
     kind = AnomalyType(args.kind)
     generator = EEGGenerator(seed=args.seed + 1000)
     if kind.is_anomalous:
@@ -220,17 +229,26 @@ def _cmd_monitor(args) -> str:
         recording = make_anomalous_signal(generator, args.duration, spec)
     else:
         recording = generator.record(args.duration)
-    session = pipeline.framework.run(recording)
-    lines = [
-        f"input: {args.kind}, {args.duration:.0f}s "
-        f"(MDB: {len(pipeline.mdb)} signal-sets)",
-        f"iterations: {session.iterations}, cloud calls: {session.cloud_calls}",
-        f"initial latency: {session.initial_latency_s:.2f}s",
-        f"peak anomaly probability: {session.peak_probability:.2f}",
-        f"anomaly predicted: {session.final_prediction}",
-        "PA series (every 5th): "
-        + " ".join(f"{p:.2f}" for p in session.pa_series[::5]),
-    ]
+    with build_pipeline(
+        PipelineConfig(
+            mdb_scale=args.mdb_scale,
+            seed=args.seed,
+            with_artifacts=False,
+            search_workers=args.workers,
+        )
+    ) as pipeline:
+        session = pipeline.framework.run(recording)
+        lines = [
+            f"input: {args.kind}, {args.duration:.0f}s "
+            f"(MDB: {len(pipeline.mdb)} signal-sets, "
+            f"{args.workers} search worker(s))",
+            f"iterations: {session.iterations}, cloud calls: {session.cloud_calls}",
+            f"initial latency: {session.initial_latency_s:.2f}s",
+            f"peak anomaly probability: {session.peak_probability:.2f}",
+            f"anomaly predicted: {session.final_prediction}",
+            "PA series (every 5th): "
+            + " ".join(f"{p:.2f}" for p in session.pa_series[::5]),
+        ]
     return "\n".join(lines)
 
 
@@ -264,18 +282,21 @@ def _cmd_obs(args) -> str:
 
     obs.reset()
     obs.enable(profiling=args.profile)
-    pipeline = build_pipeline(
+    with build_pipeline(
         PipelineConfig(
-            mdb_scale=args.mdb_scale, seed=args.seed, with_artifacts=False
+            mdb_scale=args.mdb_scale,
+            seed=args.seed,
+            with_artifacts=False,
+            search_workers=args.workers,
         )
-    )
-    recording = _obs_recording(args)
-    monitor = StreamingMonitor(pipeline.cloud)
-    chunk = max(1, args.chunk_samples)
-    with profile_block("obs.streaming_run", obs.profiles()):
-        for start in range(0, len(recording.data), chunk):
-            monitor.push(recording.data[start : start + chunk])
-    document = obs.export()
+    ) as pipeline:
+        recording = _obs_recording(args)
+        monitor = StreamingMonitor(pipeline.cloud)
+        chunk = max(1, args.chunk_samples)
+        with profile_block("obs.streaming_run", obs.profiles()):
+            for start in range(0, len(recording.data), chunk):
+                monitor.push(recording.data[start : start + chunk])
+        document = obs.export()
     if args.json:
         import json
 

@@ -1,15 +1,26 @@
 """Cloud Search stage: cross-correlation search over the MDB (§V-B).
 
 * :mod:`repro.cloud.results` — match/result containers and statistics.
+* :mod:`repro.cloud.plane` — the compiled search plane: the MDB as
+  contiguous arrays with cached window statistics and a shared-memory
+  export for worker pools.
 * :mod:`repro.cloud.search` — the search engine with pluggable skip
   policies: Algorithm 1's exponential sliding window and the
   exhaustive (β = 1) baseline it is compared against in Figs. 7 & 11.
+* :mod:`repro.cloud.parallel` — sample-balanced partitioning plus the
+  persistent shared-memory worker pool.
 * :mod:`repro.cloud.server` — the CloudServer facade used by the
-  closed-loop framework, combining the MDB, a search engine and the
+  closed-loop framework, combining the plane, a search engine and the
   timing model.
 """
 
-from repro.cloud.parallel import ParallelSearch, merge_results, partition_slices
+from repro.cloud.parallel import (
+    ParallelSearch,
+    merge_results,
+    partition_indices,
+    partition_slices,
+)
+from repro.cloud.plane import PlaneCore, SearchPlane
 from repro.cloud.results import SearchMatch, SearchResult
 from repro.cloud.search import (
     CorrelationSearch,
@@ -28,10 +39,13 @@ __all__ = [
     "ExponentialSkipPolicy",
     "FixedSkipPolicy",
     "ParallelSearch",
+    "PlaneCore",
     "SearchConfig",
     "SearchMatch",
+    "SearchPlane",
     "SearchResult",
     "SlidingWindowSearch",
     "merge_results",
+    "partition_indices",
     "partition_slices",
 ]

@@ -1,11 +1,20 @@
-"""Partitioned / parallel cloud search.
+"""Partitioned / parallel cloud search over the compiled plane.
 
 The paper slices each signal "to enable the search algorithm to quickly
 search through the complete database in parallel" (§V-B).  This module
 provides that execution strategy: the signal-set space is partitioned
-into chunks, each chunk is searched independently (serially or on a
-process pool), and the per-chunk top-K sets are merged into the global
-signal correlation set.
+into chunks balanced by **total sample count** (variable-length slices
+would skew workers under round-robin), each chunk is searched
+independently (serially or on a process pool), and the per-chunk top-K
+sets are merged into the global signal correlation set.
+
+The pool is **persistent**: workers attach to the plane's
+shared-memory segment in their initializer and keep their own window
+norm caches alive across requests, so a search request ships only the
+256-sample frame and the chunk's slice ids — never pickled slice data.
+The pool is rebuilt automatically when the plane's generation moves
+(an MDB insert invalidated the compiled arrays); ``close()`` or the
+context-manager protocol releases workers and shared memory.
 
 Merging is exact: each chunk returns its own top-K, and the global
 top-K is a subset of the union of chunk top-Ks, so the result is
@@ -15,33 +24,66 @@ test suite asserts this).
 
 from __future__ import annotations
 
-import heapq
+import atexit
+import time
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 import numpy as np
 
 from repro import obs
+from repro.cloud.plane import PlaneShareSpec, SearchPlane
 from repro.cloud.results import SearchMatch, SearchResult
-from repro.cloud.search import SearchConfig, SlidingWindowSearch
+from repro.cloud.search import (
+    CorrelationSearch,
+    ExponentialSkipPolicy,
+    SearchConfig,
+    SkipPolicy,
+    PlaneWalker,
+    TopK,
+)
 from repro.errors import SearchError
 from repro.signals.types import SignalSlice
+
+
+def partition_indices(
+    lengths: Sequence[int], n_chunks: int
+) -> list[list[int]]:
+    """Split slice indices into chunks balanced by total sample count.
+
+    Greedy LPT: indices are assigned longest-first to the least-loaded
+    chunk, so variable-length slices spread evenly (for equal-length
+    slices this degenerates to a round-robin with chunk sizes within
+    one of each other).  Each chunk's indices come back sorted so the
+    per-chunk scan preserves storage order.
+    """
+    if n_chunks < 1:
+        raise SearchError(f"chunk count must be >= 1, got {n_chunks}")
+    if not lengths:
+        raise SearchError("cannot partition an empty signal-set list")
+    n_chunks = min(n_chunks, len(lengths))
+    order = sorted(range(len(lengths)), key=lambda i: (-lengths[i], i))
+    loads = [0] * n_chunks
+    chunks: list[list[int]] = [[] for _ in range(n_chunks)]
+    for index in order:
+        target = loads.index(min(loads))
+        chunks[target].append(index)
+        loads[target] += lengths[index]
+    for chunk in chunks:
+        chunk.sort()
+    return chunks
 
 
 def partition_slices(
     slices: Sequence[SignalSlice], n_chunks: int
 ) -> list[list[SignalSlice]]:
-    """Split the signal-set list into ``n_chunks`` balanced chunks."""
-    if n_chunks < 1:
-        raise SearchError(f"chunk count must be >= 1, got {n_chunks}")
+    """Split the signal-set list into chunks balanced by sample count."""
     items = list(slices)
-    if not items:
-        raise SearchError("cannot partition an empty signal-set list")
-    n_chunks = min(n_chunks, len(items))
-    chunks: list[list[SignalSlice]] = [[] for _ in range(n_chunks)]
-    for index, sig_slice in enumerate(items):
-        chunks[index % n_chunks].append(sig_slice)
-    return chunks
+    return [
+        [items[i] for i in chunk]
+        for chunk in partition_indices([len(s) for s in items], n_chunks)
+    ]
 
 
 def merge_results(
@@ -58,8 +100,7 @@ def merge_results(
     if top_k < 1:
         raise SearchError(f"top_k must be >= 1, got {top_k}")
     merged = SearchResult()
-    heap: list[tuple[float, int, SearchMatch]] = []
-    sequence = 0
+    top = TopK(top_k)
     with obs.trace.span("cloud.merge") as span:
         for partial in partials:
             merged.correlations_evaluated += partial.correlations_evaluated
@@ -68,34 +109,122 @@ def merge_results(
             merged.heap_admissions += partial.heap_admissions
             merged.chunk_elapsed_s.append(partial.elapsed_s)
             for match in partial.matches:
-                sequence += 1
-                if len(heap) < top_k:
-                    heapq.heappush(heap, (match.omega, sequence, match))
-                elif match.omega > heap[0][0]:
-                    heapq.heapreplace(heap, (match.omega, sequence, match))
+                top.offer(match.omega, match)
     slowest_chunk = max(merged.chunk_elapsed_s, default=0.0)
     merged.elapsed_s = slowest_chunk + span.elapsed_s
-    merged.matches = [
-        entry[2] for entry in sorted(heap, key=lambda item: item[0], reverse=True)
-    ]
+    merged.matches = top.sorted_items()
     return merged
 
 
-def _search_chunk(
-    frame: np.ndarray, chunk: list[SignalSlice], config: SearchConfig
-) -> SearchResult:
-    """Worker body: one sliding-window search over one chunk."""
-    engine = SlidingWindowSearch(config, precompute=True)
-    return engine.search(frame, chunk)
+@dataclass(frozen=True)
+class _ChunkOutcome:
+    """A worker's compact return value: statistics plus index-keyed hits.
+
+    Matches travel as ``(slice_index, omega, offset)`` tuples — the
+    parent rebinds them to its own :class:`SignalSlice` objects, so no
+    slice data or metadata crosses the process boundary.
+    """
+
+    correlations_evaluated: int
+    slices_searched: int
+    candidates_above_threshold: int
+    heap_admissions: int
+    elapsed_s: float
+    hits: list[tuple[int, float, int]]
+
+
+class _WorkerPlane:
+    """Per-worker-process search state over the attached shared plane.
+
+    Lives for the worker's whole lifetime: the plane core (and its
+    per-frame-length norm caches) persist across requests, which is
+    where the pool amortises the query-independent work.
+    """
+
+    def __init__(
+        self, spec: PlaneShareSpec, config: SearchConfig, policy: SkipPolicy
+    ) -> None:
+        self.core, self._segment = spec.attach()
+        self.config = config
+        self.policy = policy
+
+    def search_chunk(
+        self, frame: np.ndarray, chunk_ids: Sequence[int]
+    ) -> _ChunkOutcome:
+        started = time.perf_counter()
+        query = np.asarray(frame, dtype=np.float64)
+        centered = query - query.mean()
+        norm = float(np.linalg.norm(centered))
+        cache = self.core.ensure_norms(self.config.frame_samples)
+        top: TopK = TopK(self.config.top_k)
+        walker = PlaneWalker(
+            self.core,
+            centered,
+            norm,
+            cache,
+            self.policy,
+            self.config.delta,
+            self.config.dedupe_per_slice,
+            indices=chunk_ids,
+        )
+        hits, evaluated, above = walker.walk_all()
+        for index, omega, offset in hits:
+            top.offer(omega, (index, omega, offset))
+        return _ChunkOutcome(
+            correlations_evaluated=evaluated,
+            slices_searched=len(chunk_ids),
+            candidates_above_threshold=above,
+            heap_admissions=top.admissions,
+            elapsed_s=time.perf_counter() - started,
+            hits=top.sorted_items(),
+        )
+
+    def release(self) -> None:
+        """Drop array views, then close the shared-memory mapping."""
+        self.core = None
+        try:
+            self._segment.close()
+        except BufferError:  # pragma: no cover - exports still alive
+            pass
+
+
+#: The attached plane state of this worker process (set by the pool
+#: initializer; ``None`` in the parent).
+_WORKER_STATE: _WorkerPlane | None = None
+
+
+def _worker_cleanup() -> None:  # pragma: no cover - runs in workers
+    global _WORKER_STATE
+    if _WORKER_STATE is not None:
+        _WORKER_STATE.release()
+        _WORKER_STATE = None
+
+
+def _pool_initializer(
+    spec: PlaneShareSpec, config: SearchConfig, policy: SkipPolicy
+) -> None:  # pragma: no cover - runs in workers
+    global _WORKER_STATE
+    _WORKER_STATE = _WorkerPlane(spec, config, policy)
+    atexit.register(_worker_cleanup)
+
+
+def _pool_search_chunk(
+    frame: np.ndarray, chunk_ids: Sequence[int]
+) -> _ChunkOutcome:  # pragma: no cover - runs in workers
+    return _WORKER_STATE.search_chunk(frame, chunk_ids)
 
 
 class ParallelSearch:
-    """Chunked Algorithm 1 over the whole MDB.
+    """Chunked Algorithm 1 over a compiled search plane.
 
     ``n_workers=1`` (the default) runs chunks serially in-process —
     useful to bound peak memory and to test the merge path.  With
-    ``n_workers > 1`` chunks run on a process pool; per-process engine
-    state is rebuilt in each worker, so results stay deterministic.
+    ``n_workers > 1`` chunks run on a **persistent** process pool:
+    workers attach to the plane's shared-memory segment once, at pool
+    construction, and repeated :meth:`search` calls reuse both the
+    pool and the workers' cached window statistics.  The engine may be
+    bound to a plane up front (``plane=``), fed one per call, or given
+    a plain slice list (compiled into an owned plane on first use).
     """
 
     def __init__(
@@ -103,6 +232,8 @@ class ParallelSearch:
         config: SearchConfig | None = None,
         n_chunks: int = 4,
         n_workers: int = 1,
+        plane: SearchPlane | None = None,
+        policy: SkipPolicy | None = None,
     ) -> None:
         if n_chunks < 1:
             raise SearchError(f"chunk count must be >= 1, got {n_chunks}")
@@ -111,9 +242,64 @@ class ParallelSearch:
         self.config = config or SearchConfig()
         self.n_chunks = n_chunks
         self.n_workers = n_workers
+        self.policy = policy or ExponentialSkipPolicy(
+            alpha=self.config.alpha,
+            skip_scale=self.config.skip_scale,
+            omega_floor=self.config.omega_floor,
+            max_skip=self.config.max_skip,
+        )
+        self.plane = plane
+        self.pool_builds = 0
+        self.pool_reuses = 0
+        self._engine = CorrelationSearch(self.config, self.policy, precompute=True)
+        self._owns_plane = False
+        self._adhoc_source_id: int | None = None
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_key: tuple[int, int] | None = None
+
+    # -- plane binding -----------------------------------------------
+
+    def bind(self, source: SearchPlane | Sequence[SignalSlice]) -> SearchPlane:
+        """Make ``source`` the engine's current plane (compiling it if
+        it is a plain slice list)."""
+        if isinstance(source, SearchPlane):
+            self.plane = source
+            self._owns_plane = False
+            self._adhoc_source_id = None
+        else:
+            self.plane = SearchPlane(source)
+            self._owns_plane = True
+            self._adhoc_source_id = id(source)
+        return self.plane
+
+    def _resolve_plane(
+        self, slices: SearchPlane | Sequence[SignalSlice] | None
+    ) -> SearchPlane:
+        if slices is None:
+            if self.plane is None:
+                raise SearchError(
+                    "no signal-set source: pass slices/a plane to search() "
+                    "or bind() one up front"
+                )
+            return self.plane
+        if isinstance(slices, SearchPlane):
+            if slices is not self.plane:
+                self.bind(slices)
+            return self.plane
+        if (
+            self.plane is None
+            or self._adhoc_source_id != id(slices)
+            or self.plane.n_slices != len(slices)
+        ):
+            self.bind(slices)
+        return self.plane
+
+    # -- searching ---------------------------------------------------
 
     def search(
-        self, frame: np.ndarray, slices: Sequence[SignalSlice]
+        self,
+        frame: np.ndarray,
+        slices: SearchPlane | Sequence[SignalSlice] | None = None,
     ) -> SearchResult:
         """Global top-K search, identical in output to a single engine.
 
@@ -123,24 +309,31 @@ class ParallelSearch:
         + merge), and ``chunk_elapsed_s`` keeps every chunk's own
         latency so skew between workers stays visible.
         """
+        plane = self._resolve_plane(slices)
+        plane.refresh()
         query = np.asarray(frame, dtype=np.float64)
+        self._engine.prepare_query(query)
         with obs.trace.span(
             "cloud.parallel_search",
             n_chunks=self.n_chunks,
             n_workers=self.n_workers,
         ) as span:
-            chunks = partition_slices(slices, self.n_chunks)
+            chunks = partition_indices(plane.slice_lengths(), self.n_chunks)
             if self.n_workers == 1:
                 partials = [
-                    _search_chunk(query, chunk, self.config) for chunk in chunks
+                    self._engine.search_plane(query, plane, chunk)
+                    for chunk in chunks
                 ]
             else:
-                with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
-                    futures = [
-                        pool.submit(_search_chunk, query, chunk, self.config)
-                        for chunk in chunks
-                    ]
-                    partials = [future.result() for future in futures]
+                pool = self._ensure_pool(plane)
+                futures = [
+                    pool.submit(_pool_search_chunk, query, chunk)
+                    for chunk in chunks
+                ]
+                partials = [
+                    self._outcome_to_result(future.result(), plane)
+                    for future in futures
+                ]
             merged = merge_results(partials, self.config.top_k)
         merged.elapsed_s = span.elapsed_s
         registry = obs.metrics()
@@ -149,3 +342,76 @@ class ParallelSearch:
             for chunk_s in merged.chunk_elapsed_s:
                 registry.observe("cloud.parallel.chunk_elapsed_s", chunk_s)
         return merged
+
+    @staticmethod
+    def _outcome_to_result(
+        outcome: _ChunkOutcome, plane: SearchPlane
+    ) -> SearchResult:
+        result = SearchResult(
+            correlations_evaluated=outcome.correlations_evaluated,
+            slices_searched=outcome.slices_searched,
+            candidates_above_threshold=outcome.candidates_above_threshold,
+            heap_admissions=outcome.heap_admissions,
+            elapsed_s=outcome.elapsed_s,
+        )
+        result.matches = [
+            SearchMatch(
+                sig_slice=plane.slices[index], omega=omega, offset=offset
+            )
+            for index, omega, offset in outcome.hits
+        ]
+        return result
+
+    # -- pool lifecycle ----------------------------------------------
+
+    def _ensure_pool(self, plane: SearchPlane) -> ProcessPoolExecutor:
+        """The persistent worker pool for ``plane``'s current build.
+
+        Reused across requests; torn down and rebuilt only when the
+        plane object or its generation changes (shared memory holds
+        the *compiled* arrays, so a rebuild invalidates attachments).
+        """
+        key = (id(plane), plane.generation)
+        registry = obs.metrics()
+        if self._pool is not None and self._pool_key == key:
+            self.pool_reuses += 1
+            registry.inc("cloud.parallel.pool_reuse")
+            return self._pool
+        self._shutdown_pool()
+        spec = plane.share()
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.n_workers,
+            initializer=_pool_initializer,
+            initargs=(spec, self.config, self.policy),
+        )
+        self._pool_key = key
+        self.pool_builds += 1
+        registry.inc("cloud.parallel.pool_builds")
+        return self._pool
+
+    def _shutdown_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_key = None
+
+    def close(self) -> None:
+        """Shut the worker pool down and release owned plane resources."""
+        self._shutdown_pool()
+        if self.plane is not None:
+            # Releases only the shared-memory segment; the plane's
+            # compiled arrays stay usable (for borrowed planes too).
+            self.plane.close()
+
+    def __enter__(self) -> "ParallelSearch":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False)
+        except Exception:
+            pass

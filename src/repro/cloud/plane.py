@@ -1,0 +1,443 @@
+"""The compiled MDB search plane.
+
+``CloudServer.handle_frame`` used to recompute every slice's prefix
+sums and window norms from scratch on each request; at production
+request rates that query-independent work dominates serving latency.
+The plane amortises it: the whole MDB is compiled **once** into two
+contiguous NumPy arrays (concatenated samples plus an ``int64`` slice
+offset table), and each frame length's centred window norms are
+precomputed for *all* slices in one pass and cached behind the MDB's
+generation counter.  A query then only pays for its own dot products.
+
+Two layers:
+
+* :class:`PlaneCore` — the arrays plus the correlation math.  This is
+  all a search worker needs, so it is what pool workers reconstruct
+  from shared memory (see :mod:`repro.cloud.parallel`); it carries no
+  slice metadata and no references back to the MDB.
+* :class:`SearchPlane` — the parent-side handle: the compiled core,
+  the :class:`~repro.signals.types.SignalSlice` objects (for building
+  matches), rebuild-on-generation-change, and the shared-memory
+  export/lifecycle.
+
+Correlation values are **bit-identical** to the scalar engine on the
+direct path: norms use the same ``sqrt(max(Σx² − (Σx)²/m, 0))``
+prefix-sum formula and dots the same ``np.correlate`` call, so the
+skip-policy walk replayed over a plane-backed correlation array visits
+exactly the offsets the per-offset scalar loop would.  For slices long
+enough that ``O(N·M)`` direct correlation loses (``fft_min_samples``,
+default 8192 — well above the standard 1000-sample signal-sets), dots
+switch to an rFFT product, equal to the direct path within ~1e-12.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.errors import SearchError
+from repro.mdb.mdb import MegaDatabase
+from repro.signals.types import SignalSlice
+
+#: Slices shorter than this always use direct ``np.correlate``; the
+#: default keeps the standard 1000-sample signal-sets on the
+#: bit-identical direct path (np.correlate's C loop beats rFFT overhead
+#: until slices are several thousand samples long).
+DEFAULT_FFT_MIN_SAMPLES = 8192
+
+#: FFT never pays for very short query frames regardless of slice size.
+FFT_MIN_FRAME_SAMPLES = 64
+
+#: Denominators below this are treated as flat (zero-variance) windows.
+_NORM_EPSILON = 1e-12
+
+
+@dataclass(frozen=True)
+class PlaneNorms:
+    """One frame length's centred window norms for every slice.
+
+    ``norms`` concatenates the per-slice norm arrays (slice ``i`` owns
+    ``norms[offsets[i]:offsets[i + 1]]``); a slice shorter than the
+    frame contributes zero entries.
+    """
+
+    frame_samples: int
+    norms: np.ndarray
+    offsets: np.ndarray
+    #: Smallest window norm across all slices; lets a query prove "no
+    #: flat window anywhere" with one scalar compare instead of a
+    #: per-offset mask.
+    min_norm: float = 0.0
+
+    def slice_norms(self, index: int) -> np.ndarray:
+        """The centred window norms of slice ``index`` at every offset."""
+        return self.norms[self.offsets[index] : self.offsets[index + 1]]
+
+
+class PlaneCore:
+    """Contiguous sample arrays plus the per-slice correlation math.
+
+    Deliberately metadata-free: workers rebuild one of these from
+    shared memory and never see labels, ids, or ``SignalSlice``
+    objects.  Norm caches are keyed by frame length and persist for the
+    core's lifetime, so repeated queries amortise all
+    query-independent work.
+    """
+
+    def __init__(
+        self,
+        samples: np.ndarray,
+        offsets: np.ndarray,
+        fft_min_samples: int = DEFAULT_FFT_MIN_SAMPLES,
+    ) -> None:
+        if samples.ndim != 1:
+            raise SearchError(f"plane samples must be 1-D, got {samples.shape}")
+        if offsets.ndim != 1 or offsets.size < 2:
+            raise SearchError("plane offset table must have >= 2 entries")
+        if fft_min_samples < 1:
+            raise SearchError(
+                f"fft_min_samples must be >= 1, got {fft_min_samples}"
+            )
+        self.samples = samples
+        self.offsets = offsets
+        self.fft_min_samples = fft_min_samples
+        self._norm_caches: dict[int, PlaneNorms] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    @property
+    def n_slices(self) -> int:
+        return self.offsets.size - 1
+
+    @property
+    def n_samples(self) -> int:
+        return self.samples.size
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of the compiled arrays (norm caches excluded)."""
+        return self.samples.nbytes + self.offsets.nbytes
+
+    def slice_length(self, index: int) -> int:
+        return int(self.offsets[index + 1] - self.offsets[index])
+
+    def slice_data(self, index: int) -> np.ndarray:
+        """Contiguous view of slice ``index``'s samples."""
+        return self.samples[self.offsets[index] : self.offsets[index + 1]]
+
+    # -- per-frame-length norm cache ---------------------------------
+
+    def ensure_norms(self, frame_samples: int) -> PlaneNorms:
+        """The norm cache for ``frame_samples``, building it on miss.
+
+        A miss computes the centred norms of **every** slice in one
+        pass (per-slice prefix sums, exactly the scalar engine's
+        formula) so later queries of this frame length are pure dot
+        products.
+        """
+        if frame_samples <= 0:
+            raise SearchError(
+                f"frame size must be positive, got {frame_samples}"
+            )
+        cached = self._norm_caches.get(frame_samples)
+        if cached is not None:
+            self.cache_hits += 1
+            obs.metrics().inc("cloud.plane.cache_hits")
+            return cached
+        self.cache_misses += 1
+        started = time.perf_counter()
+        per_slice: list[np.ndarray] = []
+        norm_offsets = np.zeros(self.n_slices + 1, dtype=np.int64)
+        for index in range(self.n_slices):
+            data = self.slice_data(index)
+            n_offsets = data.size - frame_samples + 1
+            if n_offsets <= 0:
+                norm_offsets[index + 1] = norm_offsets[index]
+                continue
+            prefix = np.concatenate(([0.0], np.cumsum(data)))
+            prefix_sq = np.concatenate(([0.0], np.cumsum(data * data)))
+            sums = prefix[frame_samples:] - prefix[:-frame_samples]
+            sq_sums = prefix_sq[frame_samples:] - prefix_sq[:-frame_samples]
+            per_slice.append(
+                np.sqrt(np.maximum(sq_sums - sums * sums / frame_samples, 0.0))
+            )
+            norm_offsets[index + 1] = norm_offsets[index] + n_offsets
+        norms = (
+            np.concatenate(per_slice) if per_slice else np.zeros(0)
+        )
+        cache = PlaneNorms(
+            frame_samples=frame_samples,
+            norms=norms,
+            offsets=norm_offsets,
+            min_norm=float(norms.min()) if norms.size else 0.0,
+        )
+        self._norm_caches[frame_samples] = cache
+        registry = obs.metrics()
+        if registry.enabled:
+            registry.inc("cloud.plane.cache_misses")
+            registry.observe(
+                "cloud.plane.norm_cache_build_s", time.perf_counter() - started
+            )
+        return cache
+
+    # -- correlation evaluation --------------------------------------
+
+    def _dots(self, data: np.ndarray, centered: np.ndarray) -> np.ndarray:
+        """Valid-mode cross-correlation dot products, direct or FFT."""
+        if (
+            data.size < self.fft_min_samples
+            or centered.size < FFT_MIN_FRAME_SAMPLES
+        ):
+            return np.correlate(data, centered, mode="valid")
+        n = 1
+        while n < data.size + centered.size - 1:
+            n <<= 1
+        spectrum = np.fft.rfft(data, n) * np.conj(np.fft.rfft(centered, n))
+        return np.fft.irfft(spectrum, n)[: data.size - centered.size + 1]
+
+    def dots(self, index: int, centered: np.ndarray) -> np.ndarray:
+        """Valid-mode dot products of a precentred query against slice
+        ``index`` (the query-dependent half of the correlation)."""
+        return self._dots(self.slice_data(index), centered)
+
+    def correlations(
+        self,
+        index: int,
+        centered: np.ndarray,
+        norm: float,
+        cache: PlaneNorms | None = None,
+    ) -> np.ndarray:
+        """Normalised correlation of a precentred query at every offset.
+
+        Output-identical to the scalar engine's
+        :meth:`~repro.signals.windows.WindowedStats.normalized_correlation_with`
+        evaluated at every offset of slice ``index``.
+        """
+        data = self.slice_data(index)
+        n_offsets = data.size - centered.size + 1
+        if n_offsets <= 0:
+            return np.zeros(0)
+        if norm < _NORM_EPSILON:
+            return np.zeros(n_offsets)
+        if cache is None or cache.frame_samples != centered.size:
+            cache = self.ensure_norms(centered.size)
+        denominator = norm * cache.slice_norms(index)
+        flat = denominator < _NORM_EPSILON
+        denominator[flat] = 1.0
+        values = self._dots(data, centered) / denominator
+        values[flat] = 0.0
+        return np.clip(values, -1.0, 1.0)
+
+
+@dataclass(frozen=True)
+class PlaneShareSpec:
+    """Everything a worker needs to attach to a shared plane.
+
+    Small and cheaply picklable: the samples live in the named
+    shared-memory segment, never in the spec.
+    """
+
+    shm_name: str
+    n_samples: int
+    offsets: tuple[int, ...]
+    fft_min_samples: int
+    generation: int
+
+    def attach(self) -> tuple[PlaneCore, shared_memory.SharedMemory]:
+        """Attach to the segment and rebuild a :class:`PlaneCore`.
+
+        The caller owns the returned segment handle and must keep it
+        alive as long as the core's arrays are in use.
+        """
+        segment = shared_memory.SharedMemory(name=self.shm_name)
+        try:
+            # Under ``spawn`` the attaching process runs its own
+            # resource tracker, which would unlink the (parent-owned)
+            # segment when this process exits; unregister so ownership
+            # stays with the plane that created it.  Under ``fork`` the
+            # tracker is shared with the parent and must keep its
+            # registration (the parent unlinks on plane close).
+            import multiprocessing
+
+            if multiprocessing.get_start_method(allow_none=False) != "fork":
+                from multiprocessing import resource_tracker
+
+                resource_tracker.unregister(segment._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker internals vary
+            pass
+        samples = np.frombuffer(
+            segment.buf, dtype=np.float64, count=self.n_samples
+        )
+        core = PlaneCore(
+            samples=samples,
+            offsets=np.asarray(self.offsets, dtype=np.int64),
+            fft_min_samples=self.fft_min_samples,
+        )
+        return core, segment
+
+
+class SearchPlane:
+    """The parent-side compiled MDB: core + metadata + lifecycle.
+
+    Built from a :class:`~repro.mdb.mdb.MegaDatabase` (tracking its
+    generation counter, so :meth:`refresh` picks up later inserts) or
+    from a plain slice list (static).  Supports the context-manager
+    protocol; :meth:`close` releases the shared-memory segment if one
+    was exported.
+    """
+
+    def __init__(
+        self,
+        source: MegaDatabase | Sequence[SignalSlice],
+        fft_min_samples: int = DEFAULT_FFT_MIN_SAMPLES,
+    ) -> None:
+        self._mdb = source if isinstance(source, MegaDatabase) else None
+        self._static_slices = (
+            None if self._mdb is not None else tuple(source)
+        )
+        self.fft_min_samples = fft_min_samples
+        self.generation = 0
+        self.source_generation = -1
+        self._shm: shared_memory.SharedMemory | None = None
+        self._share_spec: PlaneShareSpec | None = None
+        self.slices: tuple[SignalSlice, ...] = ()
+        self.core: PlaneCore | None = None
+        self._rebuild()
+
+    # -- building ----------------------------------------------------
+
+    def _rebuild(self) -> None:
+        with obs.trace.span("cloud.plane.build") as span:
+            if self._mdb is not None:
+                source_generation = self._mdb.generation
+                slices = tuple(self._mdb.slices())
+            else:
+                source_generation = 0
+                slices = self._static_slices
+            if not slices:
+                raise SearchError(
+                    "cannot compile a search plane over an empty signal-set store"
+                )
+            offsets = np.zeros(len(slices) + 1, dtype=np.int64)
+            for index, sig_slice in enumerate(slices):
+                offsets[index + 1] = offsets[index] + len(sig_slice)
+            samples = np.concatenate([s.data for s in slices])
+            self.slices = slices
+            self.core = PlaneCore(
+                samples=samples,
+                offsets=offsets,
+                fft_min_samples=self.fft_min_samples,
+            )
+            self.source_generation = source_generation
+            self.generation += 1
+            self._release_shm()
+        registry = obs.metrics()
+        if registry.enabled:
+            registry.inc("cloud.plane.builds")
+            registry.observe("cloud.plane.build_s", span.elapsed_s)
+            registry.set_gauge("cloud.plane.slices", len(self.slices))
+            registry.set_gauge("cloud.plane.compiled_bytes", self.core.nbytes)
+
+    def refresh(self) -> bool:
+        """Rebuild iff the backing MDB's generation moved; True if so."""
+        if self._mdb is None:
+            return False
+        if self._mdb.generation == self.source_generation:
+            return False
+        self._rebuild()
+        return True
+
+    # -- delegation to the core --------------------------------------
+
+    @property
+    def n_slices(self) -> int:
+        return len(self.slices)
+
+    @property
+    def n_samples(self) -> int:
+        return self.core.n_samples
+
+    @property
+    def nbytes(self) -> int:
+        return self.core.nbytes
+
+    def slice_length(self, index: int) -> int:
+        return self.core.slice_length(index)
+
+    def slice_lengths(self) -> list[int]:
+        return [self.core.slice_length(i) for i in range(self.n_slices)]
+
+    def ensure_norms(self, frame_samples: int) -> PlaneNorms:
+        return self.core.ensure_norms(frame_samples)
+
+    def correlations(
+        self,
+        index: int,
+        centered: np.ndarray,
+        norm: float,
+        cache: PlaneNorms | None = None,
+    ) -> np.ndarray:
+        return self.core.correlations(index, centered, norm, cache)
+
+    # -- shared-memory lifecycle -------------------------------------
+
+    def share(self) -> PlaneShareSpec:
+        """Export the compiled samples into shared memory (idempotent).
+
+        Returns the spec pool workers attach with; the segment belongs
+        to this plane and is released on :meth:`close` or rebuild.
+        """
+        if self._share_spec is not None:
+            return self._share_spec
+        samples = self.core.samples
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=samples.nbytes
+        )
+        shared = np.frombuffer(
+            self._shm.buf, dtype=np.float64, count=samples.size
+        )
+        shared[:] = samples
+        self._share_spec = PlaneShareSpec(
+            shm_name=self._shm.name,
+            n_samples=samples.size,
+            offsets=tuple(int(v) for v in self.core.offsets),
+            fft_min_samples=self.fft_min_samples,
+            generation=self.generation,
+        )
+        obs.metrics().set_gauge("cloud.plane.shared_bytes", samples.nbytes)
+        return self._share_spec
+
+    def _release_shm(self) -> None:
+        if self._shm is None:
+            return
+        try:
+            self._shm.close()
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+        self._shm = None
+        self._share_spec = None
+
+    def close(self) -> None:
+        """Release the shared-memory segment (the arrays stay usable)."""
+        self._release_shm()
+
+    def __enter__(self) -> "SearchPlane":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self._release_shm()
+        except Exception:
+            pass
+
+    def __len__(self) -> int:
+        return self.n_slices

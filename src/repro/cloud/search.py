@@ -28,11 +28,12 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Iterable, Protocol
+from typing import Iterable, Protocol, Sequence
 
 import numpy as np
 
 from repro import obs
+from repro.cloud.plane import SearchPlane
 from repro.cloud.results import SearchMatch, SearchResult
 from repro.errors import SearchError
 from repro.signals.types import FRAME_SAMPLES, SignalSlice
@@ -109,6 +110,10 @@ class FixedSkipPolicy:
     def skip(self, omega: float) -> int:
         return self.step
 
+    def skip_table(self, omegas: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`skip` for a whole correlation array."""
+        return np.full(omegas.size, self.step, dtype=np.int64)
+
 
 class ExponentialSkipPolicy:
     """The paper's β = αω⁻¹ sliding window, in samples.
@@ -143,6 +148,382 @@ class ExponentialSkipPolicy:
         beta = int(round(self.skip_scale * self.alpha / effective))
         return max(1, min(beta, self.max_skip))
 
+    def skip_table(self, omegas: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`skip` for a whole correlation array.
+
+        ``np.rint`` and ``np.clip`` mirror ``int(round(...))`` and
+        ``max(1, min(...))`` exactly (both round half to even on
+        float64), so the table entry at any ω equals ``skip(ω)``.
+        """
+        effective = np.maximum(omegas, self.omega_floor)
+        np.divide(self.skip_scale * self.alpha, effective, out=effective)
+        np.rint(effective, out=effective)
+        np.clip(effective, 1, self.max_skip, out=effective)
+        return effective.astype(np.int64)
+
+
+class TopK:
+    """Min-heap keeping the ``k`` highest-scored items, no global sort.
+
+    ``admissions`` counts pushes + replaces (the
+    ``heap_admissions`` search statistic).
+    """
+
+    __slots__ = ("_heap", "_k", "_sequence", "admissions")
+
+    def __init__(self, k: int) -> None:
+        self._heap: list[tuple[float, int, object]] = []
+        self._k = k
+        self._sequence = 0
+        self.admissions = 0
+
+    def offer(self, score: float, item) -> None:
+        """Admit ``item`` if ``score`` beats the current k-th best."""
+        self._sequence += 1
+        if len(self._heap) < self._k:
+            heapq.heappush(self._heap, (score, self._sequence, item))
+            self.admissions += 1
+        elif score > self._heap[0][0]:
+            heapq.heapreplace(self._heap, (score, self._sequence, item))
+            self.admissions += 1
+
+    def sorted_items(self) -> list:
+        """The retained items, highest score first."""
+        return [
+            entry[2]
+            for entry in sorted(self._heap, key=lambda item: item[0], reverse=True)
+        ]
+
+
+def replay_skip_walk(
+    evaluate,
+    last_offset: int,
+    policy: SkipPolicy,
+    delta: float,
+    dedupe_per_slice: bool,
+) -> tuple[list[tuple[float, int]], int, int]:
+    """Algorithm 1's window walk over one slice.
+
+    ``evaluate(offset)`` returns the normalised correlation at one
+    offset — either a scalar evaluator or indexing into a precomputed
+    correlation array; the admitted ``(omega, offset)`` hits and the
+    evaluation counts are identical either way, which is what keeps
+    every execution mode (scalar, precompute, plane, pooled workers)
+    bit-identical.
+
+    Returns ``(hits, evaluated, above_threshold)``.
+    """
+    hits: list[tuple[float, int]] = []
+    best_omega = -np.inf
+    best_offset = -1
+    offset = 0
+    evaluated = 0
+    above_threshold = 0
+    while offset <= last_offset:
+        omega = float(evaluate(offset))
+        evaluated += 1
+        omega = max(omega, 0.0)  # Algorithm 1 lines 9-11
+        if omega > delta:
+            above_threshold += 1
+            if dedupe_per_slice:
+                if omega > best_omega:
+                    best_omega = omega
+                    best_offset = offset
+            else:
+                hits.append((omega, offset))
+        offset += policy.skip(omega)
+    if dedupe_per_slice and best_offset >= 0:
+        hits.append((best_omega, best_offset))
+    return hits, evaluated, above_threshold
+
+
+class PlaneWalker:
+    """One query's batched skip-policy replay over a compiled plane.
+
+    Construction does all per-query vectorised work in bulk: the
+    per-slice dot products, one normalisation pass over the
+    concatenated correlation array, and (for policies exposing
+    ``skip_table``) a successor table ``nxt[o] = o + skip(ω_o)``.
+    :meth:`walk_all` then runs every slice's walk level-synchronously —
+    one vectorised gather advances all still-walking slices a hop per
+    round — and classifies the visited offsets against the threshold
+    in a single pass afterwards, so no per-offset Python loop remains.
+
+    Hits and counters are bit-identical to :func:`replay_skip_walk`
+    over the scalar evaluator: the trajectory through each slice is the
+    same pure function of the correlation value at each visited offset,
+    and every float op (dots, norms, rounding, clamps) is the same
+    IEEE-754 operation, merely batched.
+
+    ``indices`` restricts the bulk work to a chunk of the plane — the
+    partitioned execution path builds one walker per chunk.
+    """
+
+    __slots__ = (
+        "_clamped",
+        "_dedupe",
+        "_delta",
+        "_ids",
+        "_nxt",
+        "_policy",
+        "_starts",
+        "_step",
+        "_stops",
+    )
+
+    #: Below this many still-walking slices the level-synchronous
+    #: rounds stop paying for their fixed vector-op overhead; the few
+    #: stragglers finish in a plain loop instead.
+    _STRAGGLER_CUTOFF = 8
+
+    def __init__(
+        self,
+        core,
+        centered: np.ndarray,
+        norm: float,
+        cache,
+        policy: SkipPolicy,
+        delta: float,
+        dedupe_per_slice: bool,
+        indices: Sequence[int] | None = None,
+    ) -> None:
+        self._policy = policy
+        self._delta = delta
+        self._dedupe = dedupe_per_slice
+        self._step = getattr(policy, "step", None)
+        offsets = cache.offsets
+        if indices is None or len(indices) == core.n_slices:
+            # The norm cache's concatenated layout IS the walk layout.
+            ids = np.arange(core.n_slices, dtype=np.int64)
+            starts = offsets[:-1]
+            stops = offsets[1:]
+            lengths = stops - starts
+            norms = cache.norms
+            min_norm = cache.min_norm
+        else:
+            ids = np.asarray(indices, dtype=np.int64)
+            lengths = offsets[ids + 1] - offsets[ids]
+            stops = np.cumsum(lengths)
+            starts = stops - lengths
+            parts = [
+                cache.slice_norms(int(index))
+                for index, length in zip(ids, lengths)
+                if length > 0
+            ]
+            norms = np.concatenate(parts) if parts else np.zeros(0)
+            min_norm = float(norms.min()) if norms.size else 0.0
+        self._ids = ids
+        self._starts = starts
+        self._stops = stops
+        total = int(norms.size)
+        if norm < 1e-12 or total == 0:
+            self._clamped = np.zeros(total)
+        else:
+            dots = np.concatenate(
+                [
+                    core.dots(int(index), centered)
+                    for index, length in zip(ids, lengths)
+                    if length > 0
+                ]
+            )
+            denominator = norm * norms
+            if norm * min_norm >= 1e-12:
+                # No flat window anywhere (the cached minimum norm
+                # proves it), so skip the per-offset flat masking.
+                values = np.divide(dots, denominator, out=dots)
+            else:
+                flat = denominator < 1e-12
+                denominator[flat] = 1.0
+                values = np.divide(dots, denominator, out=dots)
+                values[flat] = 0.0
+            # clip(x, -1, 1) then max(·, 0) — Algorithm 1 lines 9-11 —
+            # collapses to one clip into [0, 1].
+            self._clamped = np.clip(values, 0.0, 1.0, out=values)
+        self._nxt = None
+        if self._step is None:
+            table = getattr(policy, "skip_table", None)
+            if table is not None:
+                nxt = table(self._clamped)
+                nxt += np.arange(total, dtype=np.int64)
+                self._nxt = nxt
+
+    def walk_all(self) -> tuple[list[tuple[int, float, int]], int, int]:
+        """Replay every slice's walk over the compiled layout.
+
+        Returns ``(hits, evaluated, above_threshold)`` where ``hits``
+        holds ``(slice_index, omega, relative_offset)`` tuples in
+        exactly the order the sequential per-slice scan would admit
+        them (slices in scan order, offsets ascending within a slice),
+        so heap tie-breaking is unchanged.
+        """
+        if self._step is not None:
+            return self._walk_all_strided()
+        if self._nxt is None:  # policy without a vectorised skip table
+            return self._walk_all_replay()
+        return self._walk_all_batched()
+
+    def _walk_all_batched(self) -> tuple[list[tuple[int, float, int]], int, int]:
+        """Level-synchronous walk over all slices at once.
+
+        Each round gathers the successor of every still-walking slice's
+        position in one vectorised ``take``; finished slices drop out.
+        The visited set is identical to running the scalar walk per
+        slice because each hop depends only on the (precomputed)
+        correlation at the current offset.
+        """
+        starts = self._starts
+        live = starts < self._stops
+        pos = starts[live]
+        stop = self._stops[live]
+        nxt = self._nxt
+        buf: list[np.ndarray] = []
+        while pos.size > self._STRAGGLER_CUTOFF:
+            buf.append(pos)
+            pos = nxt.take(pos)
+            alive = pos < stop
+            pos = pos[alive]
+            stop = stop[alive]
+        if pos.size:
+            tail: list[int] = []
+            for position, bound in zip(pos.tolist(), stop.tolist()):
+                while position < bound:
+                    tail.append(position)
+                    position = int(nxt[position])
+            buf.append(np.asarray(tail, dtype=np.int64))
+        if not buf:
+            return [], 0, 0
+        visited = np.concatenate(buf)
+        evaluated = int(visited.size)
+        values = self._clamped.take(visited)
+        above_mask = values > self._delta
+        above = int(np.count_nonzero(above_mask))
+        if not above:
+            return [], evaluated, 0
+        above_pos = visited[above_mask]
+        above_val = values[above_mask]
+        # Visited order is round-major; restore the sequential scan's
+        # admission order (slice by slice, offsets ascending).  An
+        # empty slice shares its start with the following non-empty one
+        # but precedes it, so "last row with start <= position" always
+        # lands on the owner.
+        rows = np.searchsorted(starts, above_pos, side="right") - 1
+        order = np.lexsort((above_pos, rows))
+        rows = rows[order]
+        above_val = above_val[order]
+        rel = above_pos[order] - starts[rows]
+        ids = self._ids
+        hits: list[tuple[int, float, int]] = []
+        if self._dedupe:
+            # np.argmax keeps the first maximum, matching the scalar
+            # walk's strict-improvement best tracking.
+            edges = [
+                0,
+                *(np.flatnonzero(rows[1:] != rows[:-1]) + 1).tolist(),
+                rows.size,
+            ]
+            for begin, end in zip(edges[:-1], edges[1:]):
+                best = begin + int(np.argmax(above_val[begin:end]))
+                hits.append(
+                    (
+                        int(ids[rows[best]]),
+                        float(above_val[best]),
+                        int(rel[best]),
+                    )
+                )
+        else:
+            hits = [
+                (int(ids[row]), float(omega), int(offset))
+                for row, omega, offset in zip(
+                    rows.tolist(), above_val.tolist(), rel.tolist()
+                )
+            ]
+        return hits, evaluated, above
+
+    def _walk_all_strided(self) -> tuple[list[tuple[int, float, int]], int, int]:
+        """Fixed-skip walk: each slice is a pure stride of the layout."""
+        step = self._step
+        hits: list[tuple[int, float, int]] = []
+        evaluated = 0
+        above = 0
+        for row in range(self._ids.size):
+            start = int(self._starts[row])
+            stop = int(self._stops[row])
+            if stop <= start:
+                continue
+            segment = self._clamped[start:stop:step]
+            mask = segment > self._delta
+            n_above = int(np.count_nonzero(mask))
+            evaluated += int(segment.size)
+            above += n_above
+            if not n_above:
+                continue
+            values = segment[mask]
+            relative = np.flatnonzero(mask) * step
+            index = int(self._ids[row])
+            if self._dedupe:
+                best = int(np.argmax(values))
+                hits.append(
+                    (index, float(values[best]), int(relative[best]))
+                )
+            else:
+                hits.extend(
+                    (index, float(omega), int(offset))
+                    for omega, offset in zip(
+                        values.tolist(), relative.tolist()
+                    )
+                )
+        return hits, evaluated, above
+
+    def _walk_all_replay(self) -> tuple[list[tuple[int, float, int]], int, int]:
+        """Per-slice scalar replay for policies without a skip table."""
+        hits: list[tuple[int, float, int]] = []
+        evaluated = 0
+        above = 0
+        for row in range(self._ids.size):
+            start = int(self._starts[row])
+            stop = int(self._stops[row])
+            if stop <= start:
+                continue
+            segment = self._clamped[start:stop]
+            slice_hits, n_evaluated, n_above = replay_skip_walk(
+                segment.__getitem__,
+                stop - start - 1,
+                self._policy,
+                self._delta,
+                self._dedupe,
+            )
+            evaluated += n_evaluated
+            above += n_above
+            index = int(self._ids[row])
+            hits.extend(
+                (index, omega, offset) for omega, offset in slice_hits
+            )
+        return hits, evaluated, above
+
+
+class ScalarWindowEvaluator:
+    """Per-offset O(1) correlation evaluator over one slice.
+
+    The scalar engine's inner loop: prefix-sum statistics are built
+    once per slice, then each call is a single windowed dot product —
+    the honest per-offset cost model behind the Fig. 7(b) wall-clock
+    benches.
+    """
+
+    __slots__ = ("_stats", "_centered", "_norm")
+
+    def __init__(
+        self, data: np.ndarray, centered: np.ndarray, norm: float
+    ) -> None:
+        self._stats = WindowedStats(data)
+        self._centered = centered
+        self._norm = norm
+
+    def __call__(self, offset: int) -> float:
+        return self._stats.normalized_correlation_with(
+            self._centered, self._norm, offset
+        )
+
 
 class CorrelationSearch:
     """Scans signal-sets for windows correlated with an input frame.
@@ -156,6 +537,12 @@ class CorrelationSearch:
     Fig. 7(b) exploration-time benches use scalar mode, where
     wall-clock honestly tracks the number of correlations a device
     would evaluate.
+
+    Passing a :class:`~repro.cloud.plane.SearchPlane` instead of a
+    slice iterable (or calling :meth:`search_plane`) reuses the plane's
+    compiled arrays and cached window norms, amortising all
+    query-independent work across requests while replaying the same
+    walk.
     """
 
     def __init__(
@@ -168,14 +555,8 @@ class CorrelationSearch:
         self.policy = policy
         self.precompute = precompute
 
-    def search(
-        self, frame: np.ndarray, slices: Iterable[SignalSlice]
-    ) -> SearchResult:
-        """Return the top-K correlation set for ``frame`` over ``slices``.
-
-        The frame must be the bandpass-filtered one-second input
-        ``B_N`` (256 samples by default).
-        """
+    def prepare_query(self, frame: np.ndarray) -> tuple[np.ndarray, float]:
+        """Validate and centre the query frame; returns (centred, norm)."""
         query = np.asarray(frame, dtype=np.float64)
         if query.ndim != 1:
             raise SearchError(f"input frame must be 1-D, got shape {query.shape}")
@@ -185,34 +566,82 @@ class CorrelationSearch:
                 f"got {query.size}"
             )
         centered = query - query.mean()
-        norm = float(np.linalg.norm(centered))
+        return centered, float(np.linalg.norm(centered))
 
+    def search(
+        self, frame: np.ndarray, slices: Iterable[SignalSlice] | SearchPlane
+    ) -> SearchResult:
+        """Return the top-K correlation set for ``frame`` over ``slices``.
+
+        The frame must be the bandpass-filtered one-second input
+        ``B_N`` (256 samples by default).  ``slices`` may be a plain
+        iterable of signal-sets or a compiled
+        :class:`~repro.cloud.plane.SearchPlane`.
+        """
+        if isinstance(slices, SearchPlane):
+            return self.search_plane(frame, slices)
+        centered, norm = self.prepare_query(frame)
         result = SearchResult()
-        # Min-heap of (omega, sequence, match) keeps the global top-K
-        # without sorting every candidate.
-        heap: list[tuple[float, int, SearchMatch]] = []
-        sequence = 0
-        heap_admissions = 0
+        top = TopK(self.config.top_k)
         with obs.trace.span("cloud.search") as span:
             for sig_slice in slices:
                 result.slices_searched += 1
-                best = self._scan_slice(sig_slice, centered, norm, result)
-                for match in best:
-                    sequence += 1
-                    if len(heap) < self.config.top_k:
-                        heapq.heappush(heap, (match.omega, sequence, match))
-                        heap_admissions += 1
-                    elif match.omega > heap[0][0]:
-                        heapq.heapreplace(heap, (match.omega, sequence, match))
-                        heap_admissions += 1
-        result.elapsed_s = span.elapsed_s
-        result.heap_admissions = heap_admissions
-        result.matches = [
-            entry[2]
-            for entry in sorted(heap, key=lambda item: item[0], reverse=True)
-        ]
-        self._publish(result, span)
+                for match in self._scan_slice(sig_slice, centered, norm, result):
+                    top.offer(match.omega, match)
+        self._finish(result, top, span)
         return result
+
+    def search_plane(
+        self,
+        frame: np.ndarray,
+        plane: SearchPlane,
+        indices: Sequence[int] | None = None,
+    ) -> SearchResult:
+        """Top-K search over (a subset of) a compiled plane.
+
+        ``indices`` restricts the scan to those plane slices — the
+        partitioned execution path ships only chunk ids to workers.
+        Matches and statistics are bit-identical to :meth:`search` over
+        the same signal-sets.
+        """
+        centered, norm = self.prepare_query(frame)
+        cache = plane.ensure_norms(self.config.frame_samples)
+        result = SearchResult()
+        top = TopK(self.config.top_k)
+        with obs.trace.span("cloud.search") as span:
+            scan = indices if indices is not None else range(plane.n_slices)
+            walker = PlaneWalker(
+                plane.core,
+                centered,
+                norm,
+                cache,
+                self.policy,
+                self.config.delta,
+                self.config.dedupe_per_slice,
+                indices=scan,
+            )
+            hits, evaluated, above = walker.walk_all()
+            result.slices_searched += len(scan)
+            result.correlations_evaluated += evaluated
+            result.candidates_above_threshold += above
+            slices = plane.slices
+            for index, omega, offset in hits:
+                top.offer(
+                    omega,
+                    SearchMatch(
+                        sig_slice=slices[index],
+                        omega=omega,
+                        offset=offset,
+                    ),
+                )
+        self._finish(result, top, span)
+        return result
+
+    def _finish(self, result: SearchResult, top: TopK, span) -> None:
+        result.elapsed_s = span.elapsed_s
+        result.heap_admissions = top.admissions
+        result.matches = top.sorted_items()
+        self._publish(result, span)
 
     def _publish(self, result: SearchResult, span) -> None:
         """Record the search's aggregate statistics into the registry.
@@ -256,36 +685,20 @@ class CorrelationSearch:
             correlations = _full_correlations(centered, norm, sig_slice.data)
             evaluate = correlations.__getitem__
         else:
-            stats = WindowedStats(sig_slice.data)
-            evaluate = lambda offset: stats.normalized_correlation_with(  # noqa: E731
-                centered, norm, offset
-            )
-        admitted: list[SearchMatch] = []
-        best_omega = -np.inf
-        best_offset = -1
-        offset = 0
-        while offset <= last_offset:
-            omega = float(evaluate(offset))
-            result.correlations_evaluated += 1
-            omega = max(omega, 0.0)  # Algorithm 1 lines 9-11
-            if omega > self.config.delta:
-                result.candidates_above_threshold += 1
-                if self.config.dedupe_per_slice:
-                    if omega > best_omega:
-                        best_omega = omega
-                        best_offset = offset
-                else:
-                    admitted.append(
-                        SearchMatch(sig_slice=sig_slice, omega=omega, offset=offset)
-                    )
-            offset += self.policy.skip(omega)
-        if self.config.dedupe_per_slice and best_offset >= 0:
-            admitted.append(
-                SearchMatch(
-                    sig_slice=sig_slice, omega=best_omega, offset=best_offset
-                )
-            )
-        return admitted
+            evaluate = ScalarWindowEvaluator(sig_slice.data, centered, norm)
+        hits, evaluated, above = replay_skip_walk(
+            evaluate,
+            last_offset,
+            self.policy,
+            self.config.delta,
+            self.config.dedupe_per_slice,
+        )
+        result.correlations_evaluated += evaluated
+        result.candidates_above_threshold += above
+        return [
+            SearchMatch(sig_slice=sig_slice, omega=omega, offset=offset)
+            for omega, offset in hits
+        ]
 
 
 def _full_correlations(

@@ -1,22 +1,43 @@
 """CloudServer: the cloud half of the closed loop.
 
-Materialises the MDB's signal-sets once (the paper keeps the MDB in
-memory-backed MongoDB for the same reason), serves cross-correlation
-search requests, and reports the Eq. 4 timing breakdown for each call
-via the timing model.
+Compiles the MDB's signal-sets into a :class:`SearchPlane` once (the
+paper keeps the MDB in memory-backed MongoDB for the same reason),
+serves cross-correlation search requests over the compiled arrays, and
+reports the Eq. 4 timing breakdown for each call via the timing model.
+
+Unlike the old materialise-at-construction snapshot, the server is
+never stale: every :meth:`handle_frame` (and an explicit
+:meth:`refresh`) compares the MDB's generation counter against the
+plane's and recompiles when signal-sets were inserted or removed —
+a cheap integer comparison on the no-change path.
 """
 
 from __future__ import annotations
 
+from typing import Protocol
+
 import numpy as np
 
 from repro import obs
+from repro.cloud.plane import SearchPlane
 from repro.cloud.results import SearchResult
-from repro.cloud.search import CorrelationSearch, SearchConfig, SlidingWindowSearch
+from repro.cloud.search import SearchConfig, SlidingWindowSearch
 from repro.errors import SearchError
 from repro.mdb.mdb import MegaDatabase
 from repro.runtime.timing import TimingBreakdown, TimingModel
 from repro.signals.types import Frame, SignalSlice
+
+
+class SearchEngine(Protocol):
+    """Anything that can run a top-K search over a plane.
+
+    Satisfied by :class:`~repro.cloud.search.CorrelationSearch` (and
+    its subclasses) as well as
+    :class:`~repro.cloud.parallel.ParallelSearch`.
+    """
+
+    def search(self, frame: np.ndarray, slices) -> SearchResult:
+        ...
 
 
 class CloudServer:
@@ -24,23 +45,38 @@ class CloudServer:
 
     def __init__(
         self,
-        mdb: MegaDatabase | list[SignalSlice],
-        search: CorrelationSearch | None = None,
+        mdb: MegaDatabase | list[SignalSlice] | SearchPlane,
+        search: SearchEngine | None = None,
         timing: TimingModel | None = None,
     ) -> None:
-        if isinstance(mdb, MegaDatabase):
-            self._slices = list(mdb.slices())
+        if isinstance(mdb, SearchPlane):
+            self.plane = mdb
         else:
-            self._slices = list(mdb)
-        if not self._slices:
-            raise SearchError("cloud server needs a non-empty signal-set store")
-        self.search_engine = search or SlidingWindowSearch(SearchConfig(), precompute=True)
+            if not len(mdb):
+                raise SearchError(
+                    "cloud server needs a non-empty signal-set store"
+                )
+            self.plane = SearchPlane(mdb)
+        self.search_engine = search or SlidingWindowSearch(
+            SearchConfig(), precompute=True
+        )
         self.timing = timing or TimingModel()
         self.calls_served = 0
 
     @property
     def n_slices(self) -> int:
-        return len(self._slices)
+        return self.plane.n_slices
+
+    def refresh(self) -> bool:
+        """Recompile the plane if the backing MDB changed; True if so.
+
+        Called automatically by :meth:`handle_frame`, so frames
+        arriving after an MDB insert always search the new signal-sets.
+        """
+        refreshed = self.plane.refresh()
+        if refreshed:
+            obs.metrics().inc("cloud.server.refreshes")
+        return refreshed
 
     def handle_frame(
         self, frame: Frame | np.ndarray
@@ -51,8 +87,9 @@ class CloudServer:
             if isinstance(frame, Frame)
             else np.asarray(frame, dtype=np.float64)
         )
-        with obs.trace.span("cloud.handle_frame", slices=len(self._slices)):
-            result = self.search_engine.search(data, self._slices)
+        self.refresh()
+        with obs.trace.span("cloud.handle_frame", slices=self.plane.n_slices):
+            result = self.search_engine.search(data, self.plane)
             breakdown = self.timing.initial_breakdown(
                 frame_samples=data.size,
                 correlations_evaluated=result.correlations_evaluated,
@@ -68,3 +105,11 @@ class CloudServer:
             registry.observe("cloud.server.phase.download_s", breakdown.download_s)
             registry.observe("cloud.server.phase.initial_s", breakdown.initial_s)
         return result, breakdown
+
+    def close(self) -> None:
+        """Release the engine's worker pool (if any) and the plane's
+        shared-memory segment."""
+        closer = getattr(self.search_engine, "close", None)
+        if closer is not None:
+            closer()
+        self.plane.close()

@@ -36,6 +36,16 @@ class MegaDatabase:
     def __len__(self) -> int:
         return len(self._slices)
 
+    @property
+    def generation(self) -> int:
+        """Monotonic data version of the signal-set collection.
+
+        Bumped by every insert/update/delete/clear; the cloud tier's
+        compiled search plane (and ``CloudServer.refresh``) compare it
+        to decide when their materialised snapshot is stale.
+        """
+        return self._slices.data_version
+
     # -- writes ------------------------------------------------------
 
     def insert_document(self, document: Mapping[str, Any]) -> None:

@@ -45,9 +45,20 @@ class Collection:
         self.name = name
         self._documents: dict[ObjectId, dict[str, Any]] = {}
         self._indexes: dict[str, FieldIndex] = {}
+        self._data_version = 0
 
     def __len__(self) -> int:
         return len(self._documents)
+
+    @property
+    def data_version(self) -> int:
+        """Monotonic counter bumped by every mutating operation.
+
+        Readers that materialise the collection (the cloud search
+        plane, caches) compare this to decide whether their snapshot
+        is stale; equal versions guarantee identical contents.
+        """
+        return self._data_version
 
     def __iter__(self) -> Iterator[dict[str, Any]]:
         return iter(list(self._documents.values()))
@@ -85,6 +96,7 @@ class Collection:
         self._documents[doc_id] = stored
         for index in self._indexes.values():
             index.add(doc_id, stored)
+        self._data_version += 1
         return doc_id
 
     def insert_many(self, documents: list[Mapping[str, Any]]) -> list[ObjectId]:
@@ -98,6 +110,8 @@ class Collection:
             del self._documents[doc_id]
             for index in self._indexes.values():
                 index.remove(doc_id)
+        if doomed:
+            self._data_version += 1
         return len(doomed)
 
     def update_many(
@@ -140,10 +154,14 @@ class Collection:
                 index.remove(doc_id)
                 index.add(doc_id, document)
             touched += 1
+        if touched:
+            self._data_version += 1
         return touched
 
     def clear(self) -> None:
         """Remove every document (indexes stay defined but empty)."""
+        if self._documents:
+            self._data_version += 1
         self._documents.clear()
         for index in self._indexes.values():
             index.clear()

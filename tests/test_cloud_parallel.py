@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.cloud.parallel import ParallelSearch, merge_results, partition_slices
+from repro.cloud.parallel import (
+    ParallelSearch,
+    merge_results,
+    partition_indices,
+    partition_slices,
+)
 from repro.cloud.results import SearchMatch, SearchResult
 from repro.cloud.search import SearchConfig, SlidingWindowSearch
 from repro.errors import SearchError
@@ -32,6 +37,25 @@ class TestPartition:
     def test_more_chunks_than_slices(self, mdb_slices):
         chunks = partition_slices(mdb_slices[:3], 10)
         assert len(chunks) == 3
+
+    def test_balances_sample_counts_not_slice_counts(self):
+        # Four huge signal-sets among many small ones: round-robin by
+        # position would pile several big ones onto one chunk; the
+        # greedy partition spreads them so chunk *sample* loads stay
+        # within one slice length of each other.
+        lengths = [8000, 8000, 8000, 8000] + [250] * 32
+        chunks = partition_indices(lengths, 4)
+        loads = sorted(sum(lengths[i] for i in chunk) for chunk in chunks)
+        assert loads[-1] - loads[0] <= max(lengths)
+        assert loads[-1] < sum(lengths) / 2  # no chunk hogs the work
+        assert sorted(i for chunk in chunks for i in chunk) == list(
+            range(len(lengths))
+        )
+
+    def test_indices_sorted_within_chunk(self):
+        chunks = partition_indices([500, 100, 900, 300, 700], 2)
+        for chunk in chunks:
+            assert chunk == sorted(chunk)
 
     def test_rejects_empty(self):
         with pytest.raises(SearchError, match="empty"):

@@ -1,0 +1,291 @@
+"""Tests for the compiled search plane and its serving paths.
+
+Covers the plane's memory layout and caches, CloudServer freshness
+(generation-driven refresh), and the cross-mode equivalence property:
+scalar mode, precompute mode, plane-backed mode and ``ParallelSearch``
+(serial and pooled) must admit identical matches and evaluate the same
+number of correlations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud.parallel import ParallelSearch
+from repro.cloud.plane import PlaneCore, SearchPlane
+from repro.cloud.search import (
+    ExhaustiveSearch,
+    FixedSkipPolicy,
+    SearchConfig,
+    SlidingWindowSearch,
+    _full_correlations,
+)
+from repro.errors import SearchError
+from repro.mdb.mdb import MegaDatabase
+from repro.mdb.schema import slice_to_document
+from repro.signals.types import AnomalyType, SignalSlice
+
+
+def _random_slices(seed: int, n: int = 24, min_len: int = 200, max_len: int = 1400):
+    """A deterministic variable-length signal-set list."""
+    rng = np.random.default_rng(seed)
+    slices = []
+    for index in range(n):
+        length = int(rng.integers(min_len, max_len))
+        label = AnomalyType.SEIZURE if index % 3 == 0 else AnomalyType.NONE
+        slices.append(
+            SignalSlice(
+                data=rng.standard_normal(length),
+                label=label,
+                slice_id=f"r{seed}-{index}",
+            )
+        )
+    return slices
+
+
+def _query(seed: int, samples: int = 256) -> np.ndarray:
+    return np.random.default_rng(seed + 10_000).standard_normal(samples)
+
+
+def _match_key(result):
+    return [(m.sig_slice.slice_id, m.offset, m.omega) for m in result.matches]
+
+
+def _mdb_from(slices) -> MegaDatabase:
+    mdb = MegaDatabase()
+    for sig_slice in slices:
+        mdb.insert_document(
+            slice_to_document(sig_slice, dataset="test", channel="Fp1")
+        )
+    return mdb
+
+
+class TestSearchPlane:
+    def test_layout_matches_sources(self):
+        slices = _random_slices(0, n=10)
+        plane = SearchPlane(slices)
+        assert plane.n_slices == 10
+        assert plane.n_samples == sum(len(s) for s in slices)
+        for index, sig_slice in enumerate(slices):
+            assert plane.slice_length(index) == len(sig_slice)
+            np.testing.assert_array_equal(
+                plane.core.slice_data(index), sig_slice.data
+            )
+
+    def test_rejects_empty(self):
+        with pytest.raises(SearchError, match="empty"):
+            SearchPlane([])
+
+    def test_correlations_bit_identical_to_precompute(self):
+        slices = _random_slices(1, n=8)
+        plane = SearchPlane(slices)
+        frame = _query(1)
+        centered = frame - frame.mean()
+        norm = float(np.linalg.norm(centered))
+        for index, sig_slice in enumerate(slices):
+            if len(sig_slice) < 256:
+                continue
+            reference = _full_correlations(centered, norm, sig_slice.data)
+            np.testing.assert_array_equal(
+                plane.correlations(index, centered, norm), reference
+            )
+
+    def test_norm_cache_hit_miss_accounting(self):
+        plane = SearchPlane(_random_slices(2, n=6))
+        assert plane.core.cache_misses == 0
+        plane.ensure_norms(256)
+        plane.ensure_norms(256)
+        plane.ensure_norms(128)
+        assert plane.core.cache_misses == 2
+        assert plane.core.cache_hits == 1
+
+    def test_fft_path_matches_direct(self):
+        rng = np.random.default_rng(3)
+        slices = [
+            SignalSlice(
+                data=rng.standard_normal(9000),
+                label=AnomalyType.NONE,
+                slice_id=f"long{i}",
+            )
+            for i in range(2)
+        ]
+        frame = _query(3)
+        centered = frame - frame.mean()
+        norm = float(np.linalg.norm(centered))
+        direct = SearchPlane(slices, fft_min_samples=10**9)
+        fft = SearchPlane(slices, fft_min_samples=4096)
+        for index in range(2):
+            np.testing.assert_allclose(
+                fft.correlations(index, centered, norm),
+                direct.correlations(index, centered, norm),
+                atol=1e-10,
+            )
+
+    def test_refresh_tracks_mdb_generation(self):
+        slices = _random_slices(4, n=8)
+        mdb = _mdb_from(slices[:5])
+        plane = SearchPlane(mdb)
+        generation = plane.generation
+        assert plane.refresh() is False
+        assert plane.generation == generation
+        for sig_slice in slices[5:]:
+            mdb.insert_document(
+                slice_to_document(sig_slice, dataset="test", channel="Fp1")
+            )
+        assert plane.refresh() is True
+        assert plane.generation == generation + 1
+        assert plane.n_slices == 8
+
+    def test_static_plane_never_refreshes(self):
+        plane = SearchPlane(_random_slices(5, n=4))
+        assert plane.refresh() is False
+
+    def test_share_attach_round_trip(self):
+        slices = _random_slices(6, n=6)
+        with SearchPlane(slices) as plane:
+            spec = plane.share()
+            assert plane.share() is spec  # idempotent
+            core, segment = spec.attach()
+            try:
+                assert isinstance(core, PlaneCore)
+                np.testing.assert_array_equal(core.samples, plane.core.samples)
+                np.testing.assert_array_equal(core.offsets, plane.core.offsets)
+            finally:
+                core = None
+                segment.close()
+
+    def test_close_is_idempotent(self):
+        plane = SearchPlane(_random_slices(7, n=3))
+        plane.share()
+        plane.close()
+        plane.close()
+
+
+class TestCloudServerRefresh:
+    def test_post_insert_frames_search_new_slices(self):
+        """A frame arriving after an MDB insert must see the new slices."""
+        from repro.cloud.server import CloudServer
+
+        slices = _random_slices(8, n=12, min_len=1000, max_len=1001)
+        frame = _query(8)
+        # Plant a perfect match in a slice inserted only *after* the
+        # server is built.
+        planted_data = np.random.default_rng(88).standard_normal(1000) * 0.1
+        planted_data[100:356] = 3.0 * frame + 1.0
+        planted = SignalSlice(
+            data=planted_data, label=AnomalyType.SEIZURE, slice_id="planted"
+        )
+        mdb = _mdb_from(slices)
+        server = CloudServer(
+            mdb, search=ExhaustiveSearch(SearchConfig(), precompute=True)
+        )
+        before, _ = server.handle_frame(frame)
+        assert server.n_slices == 12
+        assert all(m.sig_slice.slice_id != "planted" for m in before.matches)
+        mdb.insert_document(
+            slice_to_document(planted, dataset="test", channel="Fp1")
+        )
+        after, _ = server.handle_frame(frame)
+        assert server.n_slices == 13
+        assert after.matches
+        assert after.matches[0].sig_slice.slice_id == "planted"
+        assert after.matches[0].offset == 100
+
+    def test_explicit_refresh_reports_change(self):
+        from repro.cloud.server import CloudServer
+
+        slices = _random_slices(9, n=6)
+        mdb = _mdb_from(slices[:4])
+        server = CloudServer(mdb)
+        assert server.refresh() is False
+        mdb.insert_document(
+            slice_to_document(slices[4], dataset="test", channel="Fp1")
+        )
+        assert server.refresh() is True
+        assert server.n_slices == 5
+
+
+class TestModeEquivalence:
+    """Satellite: seeded property test over random MDBs & both policies.
+
+    All execution modes must admit bit-identical matches (same slice,
+    same offset, same ω) and evaluate the identical number of
+    correlations — the plane only changes *where* the arithmetic runs.
+    """
+
+    CONFIG = SearchConfig(delta=0.6, top_k=25)
+
+    def _engines(self, exhaustive: bool):
+        if exhaustive:
+            return (
+                ExhaustiveSearch(self.CONFIG),
+                ExhaustiveSearch(self.CONFIG, precompute=True),
+                FixedSkipPolicy(1),
+            )
+        return (
+            SlidingWindowSearch(self.CONFIG),
+            SlidingWindowSearch(self.CONFIG, precompute=True),
+            None,
+        )
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1), exhaustive=st.booleans())
+    @settings(max_examples=10, deadline=None)
+    def test_all_modes_identical(self, seed, exhaustive):
+        slices = _random_slices(seed, n=14, min_len=200, max_len=900)
+        frame = _query(seed)
+        scalar_engine, fast_engine, policy = self._engines(exhaustive)
+        scalar = scalar_engine.search(frame, slices)
+        precomputed = fast_engine.search(frame, slices)
+        plane = SearchPlane(slices)
+        planed = fast_engine.search(frame, plane)
+        parallel = ParallelSearch(
+            self.CONFIG, n_chunks=3, n_workers=1, policy=policy
+        ).search(frame, slices)
+        reference = _match_key(scalar)
+        for result in (precomputed, planed, parallel):
+            assert _match_key(result) == reference
+            assert result.correlations_evaluated == scalar.correlations_evaluated
+            assert result.slices_searched == scalar.slices_searched
+            assert (
+                result.candidates_above_threshold
+                == scalar.candidates_above_threshold
+            )
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    @pytest.mark.parametrize("exhaustive", [False, True])
+    def test_pooled_workers_identical_and_pool_reused(self, seed, exhaustive):
+        slices = _random_slices(seed, n=20)
+        frame = _query(seed)
+        scalar_engine, _, policy = self._engines(exhaustive)
+        scalar = scalar_engine.search(frame, slices)
+        with ParallelSearch(
+            self.CONFIG, n_chunks=4, n_workers=2, policy=policy
+        ) as pooled:
+            first = pooled.search(frame, slices)
+            second = pooled.search(frame, slices)
+            assert pooled.pool_builds == 1
+            assert pooled.pool_reuses == 1
+        for result in (first, second):
+            assert _match_key(result) == _match_key(scalar)
+            assert result.correlations_evaluated == scalar.correlations_evaluated
+
+    def test_pool_rebuilds_when_mdb_generation_moves(self):
+        slices = _random_slices(11, n=12, min_len=1000, max_len=1001)
+        frame = _query(11)
+        mdb = _mdb_from(slices[:10])
+        plane = SearchPlane(mdb)
+        with ParallelSearch(
+            self.CONFIG, n_chunks=3, n_workers=2, plane=plane
+        ) as pooled:
+            pooled.search(frame)
+            assert pooled.pool_builds == 1
+            for sig_slice in slices[10:]:
+                mdb.insert_document(
+                    slice_to_document(sig_slice, dataset="test", channel="Fp1")
+                )
+            result = pooled.search(frame)
+            assert pooled.pool_builds == 2  # generation moved -> new pool
+            assert result.slices_searched == 12
