@@ -22,9 +22,13 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.version import PAPER, __version__
+
+if TYPE_CHECKING:  # heavy imports stay deferred at runtime
+    from repro.eval.experiments.common import ExperimentFixture
+    from repro.signals.types import Signal
 
 _EXPERIMENTS: dict[str, str] = {
     "fig2": "PA vs tracking iteration (motivational analysis)",
@@ -115,36 +119,36 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _fixture(args):
+def _fixture(args: argparse.Namespace) -> ExperimentFixture:
     from repro.eval.experiments.common import build_fixture
 
     return build_fixture(mdb_scale=args.mdb_scale, seed=args.seed)
 
 
-def _cmd_list(_args) -> str:
+def _cmd_list(_args: argparse.Namespace) -> str:
     lines = [f"{name:<8} {description}" for name, description in _EXPERIMENTS.items()]
     return "\n".join(lines)
 
 
-def _cmd_fig2(args) -> str:
+def _cmd_fig2(args: argparse.Namespace) -> str:
     from repro.eval.experiments import fig2_motivation
 
     return fig2_motivation.run(_fixture(args)).report()
 
 
-def _cmd_fig4(_args) -> str:
+def _cmd_fig4(_args: argparse.Namespace) -> str:
     from repro.eval.experiments import fig4_transmission
 
     return fig4_transmission.run().report()
 
 
-def _cmd_fig7a(args) -> str:
+def _cmd_fig7a(args: argparse.Namespace) -> str:
     from repro.eval.experiments import fig7_alpha_sweep
 
     return fig7_alpha_sweep.run_alpha_sweep(_fixture(args)).report()
 
 
-def _cmd_fig7b(args) -> str:
+def _cmd_fig7b(args: argparse.Namespace) -> str:
     from repro.eval.experiments import fig7_alpha_sweep
 
     return fig7_alpha_sweep.run_scaling(
@@ -152,19 +156,19 @@ def _cmd_fig7b(args) -> str:
     ).report()
 
 
-def _cmd_fig8a(args) -> str:
+def _cmd_fig8a(args: argparse.Namespace) -> str:
     from repro.eval.experiments import fig8_threshold
 
     return fig8_threshold.run_threshold_equivalence(_fixture(args)).report()
 
 
-def _cmd_fig8b(args) -> str:
+def _cmd_fig8b(args: argparse.Namespace) -> str:
     from repro.eval.experiments import fig8_threshold
 
     return fig8_threshold.run_tracking_cost(_fixture(args)).report()
 
 
-def _cmd_fig9(args) -> str:
+def _cmd_fig9(args: argparse.Namespace) -> str:
     from repro.eval.experiments import fig9_timeline
 
     result = fig9_timeline.run(_fixture(args))
@@ -173,7 +177,7 @@ def _cmd_fig9(args) -> str:
     )
 
 
-def _cmd_fig10(args) -> str:
+def _cmd_fig10(args: argparse.Namespace) -> str:
     from repro.eval.batches import BatchSpec
     from repro.eval.experiments import fig10_seizure_accuracy
 
@@ -187,7 +191,7 @@ def _cmd_fig10(args) -> str:
     return result.report()
 
 
-def _cmd_fig11(args) -> str:
+def _cmd_fig11(args: argparse.Namespace) -> str:
     from repro.eval.experiments import fig11_search_quality
 
     return fig11_search_quality.run(
@@ -195,7 +199,7 @@ def _cmd_fig11(args) -> str:
     ).report()
 
 
-def _cmd_table1(args) -> str:
+def _cmd_table1(args: argparse.Namespace) -> str:
     from repro.eval.batches import BatchSpec
     from repro.eval.experiments import table1_accuracy
 
@@ -209,7 +213,7 @@ def _cmd_table1(args) -> str:
     return result.report()
 
 
-def _cmd_monitor(args) -> str:
+def _cmd_monitor(args: argparse.Namespace) -> str:
     from repro.config import PipelineConfig, build_pipeline
     from repro.signals.anomalies import AnomalySpec, make_anomalous_signal
     from repro.signals.generator import EEGGenerator
@@ -252,7 +256,7 @@ def _cmd_monitor(args) -> str:
     return "\n".join(lines)
 
 
-def _obs_recording(args):
+def _obs_recording(args: argparse.Namespace) -> Signal:
     """An evaluation recording for the observability session."""
     from repro.signals.anomalies import AnomalySpec, make_anomalous_signal
     from repro.signals.generator import EEGGenerator
@@ -273,7 +277,7 @@ def _obs_recording(args):
     return make_anomalous_signal(generator, args.duration, spec)
 
 
-def _cmd_obs(args) -> str:
+def _cmd_obs(args: argparse.Namespace) -> str:
     """End-to-end streaming run with the observability layer enabled."""
     from repro import obs
     from repro.config import PipelineConfig, build_pipeline

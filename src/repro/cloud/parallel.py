@@ -28,12 +28,13 @@ import atexit
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from types import TracebackType
 from typing import Iterable, Sequence
 
 import numpy as np
 
 from repro import obs
-from repro.cloud.plane import PlaneShareSpec, SearchPlane
+from repro.cloud.plane import PlaneCore, PlaneShareSpec, SearchPlane
 from repro.cloud.results import SearchMatch, SearchResult
 from repro.cloud.search import (
     CorrelationSearch,
@@ -144,6 +145,7 @@ class _WorkerPlane:
     def __init__(
         self, spec: PlaneShareSpec, config: SearchConfig, policy: SkipPolicy
     ) -> None:
+        self.core: PlaneCore | None
         self.core, self._segment = spec.attach()
         self.config = config
         self.policy = policy
@@ -151,12 +153,14 @@ class _WorkerPlane:
     def search_chunk(
         self, frame: np.ndarray, chunk_ids: Sequence[int]
     ) -> _ChunkOutcome:
+        if self.core is None:
+            raise SearchError("worker plane already released")
         started = time.perf_counter()
         query = np.asarray(frame, dtype=np.float64)
         centered = query - query.mean()
         norm = float(np.linalg.norm(centered))
         cache = self.core.ensure_norms(self.config.frame_samples)
-        top: TopK = TopK(self.config.top_k)
+        top: TopK[tuple[int, float, int]] = TopK(self.config.top_k)
         walker = PlaneWalker(
             self.core,
             centered,
@@ -211,6 +215,8 @@ def _pool_initializer(
 def _pool_search_chunk(
     frame: np.ndarray, chunk_ids: Sequence[int]
 ) -> _ChunkOutcome:  # pragma: no cover - runs in workers
+    if _WORKER_STATE is None:
+        raise SearchError("worker pool used outside an initialized worker")
     return _WORKER_STATE.search_chunk(frame, chunk_ids)
 
 
@@ -261,7 +267,19 @@ class ParallelSearch:
 
     def bind(self, source: SearchPlane | Sequence[SignalSlice]) -> SearchPlane:
         """Make ``source`` the engine's current plane (compiling it if
-        it is a plain slice list)."""
+        it is a plain slice list).
+
+        Rebinding retires the previous binding deterministically: the
+        worker pool (whose workers hold attachments to the previous
+        plane's shared-memory segment) is shut down, and a previous
+        plane the engine compiled itself is closed so its segment is
+        released now rather than at interpreter exit.
+        """
+        previous = self.plane
+        if previous is not None and previous is not source:
+            self._shutdown_pool()
+            if self._owns_plane:
+                previous.close()
         if isinstance(source, SearchPlane):
             self.plane = source
             self._owns_plane = False
@@ -275,24 +293,25 @@ class ParallelSearch:
     def _resolve_plane(
         self, slices: SearchPlane | Sequence[SignalSlice] | None
     ) -> SearchPlane:
+        plane = self.plane
         if slices is None:
-            if self.plane is None:
+            if plane is None:
                 raise SearchError(
                     "no signal-set source: pass slices/a plane to search() "
                     "or bind() one up front"
                 )
-            return self.plane
+            return plane
         if isinstance(slices, SearchPlane):
-            if slices is not self.plane:
-                self.bind(slices)
-            return self.plane
+            if slices is not plane:
+                return self.bind(slices)
+            return slices
         if (
-            self.plane is None
+            plane is None
             or self._adhoc_source_id != id(slices)
-            or self.plane.n_slices != len(slices)
+            or plane.n_slices != len(slices)
         ):
-            self.bind(slices)
-        return self.plane
+            return self.bind(slices)
+        return plane
 
     # -- searching ---------------------------------------------------
 
@@ -406,7 +425,12 @@ class ParallelSearch:
     def __enter__(self) -> "ParallelSearch":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         self.close()
 
     def __del__(self) -> None:  # pragma: no cover - GC safety net

@@ -35,6 +35,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 from multiprocessing import shared_memory
+from types import TracebackType
 from typing import Sequence
 
 import numpy as np
@@ -268,7 +269,10 @@ class PlaneShareSpec:
                 from multiprocessing import resource_tracker
 
                 resource_tracker.unregister(segment._name, "shared_memory")
-        except Exception:  # pragma: no cover - tracker internals vary
+        # The tracker is a CPython implementation detail with no stable
+        # API; failing to unregister only risks a harmless early-unlink
+        # warning, so this guard is allowed to swallow.
+        except Exception:  # pragma: no cover - emaplint: disable=EM006
             pass
         samples = np.frombuffer(
             segment.buf, dtype=np.float64, count=self.n_samples
@@ -430,7 +434,12 @@ class SearchPlane:
     def __enter__(self) -> "SearchPlane":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         self.close()
 
     def __del__(self) -> None:  # pragma: no cover - GC safety net

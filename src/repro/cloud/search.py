@@ -28,16 +28,19 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Iterable, Protocol, Sequence
+from typing import Callable, Generic, Iterable, Protocol, Sequence, TypeVar
 
 import numpy as np
 
 from repro import obs
-from repro.cloud.plane import SearchPlane
+from repro.cloud.plane import PlaneCore, PlaneNorms, SearchPlane
 from repro.cloud.results import SearchMatch, SearchResult
 from repro.errors import SearchError
+from repro.obs.tracing import Span
 from repro.signals.types import FRAME_SAMPLES, SignalSlice
 from repro.signals.windows import WindowedStats
+
+T = TypeVar("T")
 
 #: Paper's preset step-size (Section V-B: "we have preset α to 0.004").
 DEFAULT_ALPHA = 0.004
@@ -162,7 +165,7 @@ class ExponentialSkipPolicy:
         return effective.astype(np.int64)
 
 
-class TopK:
+class TopK(Generic[T]):
     """Min-heap keeping the ``k`` highest-scored items, no global sort.
 
     ``admissions`` counts pushes + replaces (the
@@ -172,12 +175,12 @@ class TopK:
     __slots__ = ("_heap", "_k", "_sequence", "admissions")
 
     def __init__(self, k: int) -> None:
-        self._heap: list[tuple[float, int, object]] = []
+        self._heap: list[tuple[float, int, T]] = []
         self._k = k
         self._sequence = 0
         self.admissions = 0
 
-    def offer(self, score: float, item) -> None:
+    def offer(self, score: float, item: T) -> None:
         """Admit ``item`` if ``score`` beats the current k-th best."""
         self._sequence += 1
         if len(self._heap) < self._k:
@@ -187,7 +190,7 @@ class TopK:
             heapq.heapreplace(self._heap, (score, self._sequence, item))
             self.admissions += 1
 
-    def sorted_items(self) -> list:
+    def sorted_items(self) -> list[T]:
         """The retained items, highest score first."""
         return [
             entry[2]
@@ -196,7 +199,7 @@ class TopK:
 
 
 def replay_skip_walk(
-    evaluate,
+    evaluate: Callable[[int], float],
     last_offset: int,
     policy: SkipPolicy,
     delta: float,
@@ -278,10 +281,10 @@ class PlaneWalker:
 
     def __init__(
         self,
-        core,
+        core: PlaneCore,
         centered: np.ndarray,
         norm: float,
-        cache,
+        cache: PlaneNorms,
         policy: SkipPolicy,
         delta: float,
         dedupe_per_slice: bool,
@@ -582,7 +585,7 @@ class CorrelationSearch:
             return self.search_plane(frame, slices)
         centered, norm = self.prepare_query(frame)
         result = SearchResult()
-        top = TopK(self.config.top_k)
+        top: TopK[SearchMatch] = TopK(self.config.top_k)
         with obs.trace.span("cloud.search") as span:
             for sig_slice in slices:
                 result.slices_searched += 1
@@ -607,7 +610,7 @@ class CorrelationSearch:
         centered, norm = self.prepare_query(frame)
         cache = plane.ensure_norms(self.config.frame_samples)
         result = SearchResult()
-        top = TopK(self.config.top_k)
+        top: TopK[SearchMatch] = TopK(self.config.top_k)
         with obs.trace.span("cloud.search") as span:
             scan = indices if indices is not None else range(plane.n_slices)
             walker = PlaneWalker(
@@ -637,13 +640,15 @@ class CorrelationSearch:
         self._finish(result, top, span)
         return result
 
-    def _finish(self, result: SearchResult, top: TopK, span) -> None:
+    def _finish(
+        self, result: SearchResult, top: TopK[SearchMatch], span: Span
+    ) -> None:
         result.elapsed_s = span.elapsed_s
         result.heap_admissions = top.admissions
         result.matches = top.sorted_items()
         self._publish(result, span)
 
-    def _publish(self, result: SearchResult, span) -> None:
+    def _publish(self, result: SearchResult, span: Span) -> None:
         """Record the search's aggregate statistics into the registry.
 
         Aggregated once per search (never in the per-offset loop) so

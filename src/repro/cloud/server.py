@@ -14,7 +14,7 @@ a cheap integer comparison on the no-change path.
 
 from __future__ import annotations
 
-from typing import Protocol
+from typing import Protocol, Sequence
 
 import numpy as np
 
@@ -36,7 +36,9 @@ class SearchEngine(Protocol):
     :class:`~repro.cloud.parallel.ParallelSearch`.
     """
 
-    def search(self, frame: np.ndarray, slices) -> SearchResult:
+    def search(
+        self, frame: np.ndarray, slices: SearchPlane | Sequence[SignalSlice]
+    ) -> SearchResult:
         ...
 
 

@@ -13,6 +13,7 @@ so a downstream user gets a running EMAP in three lines::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from types import TracebackType
 
 from repro.cloud.parallel import ParallelSearch
 from repro.cloud.search import SearchConfig, SlidingWindowSearch
@@ -84,7 +85,12 @@ class Pipeline:
     def __enter__(self) -> "Pipeline":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         self.close()
 
 

@@ -94,15 +94,6 @@ class TrackedSignal:
         return self.sig_slice.label.is_anomalous
 
 
-def _normalize_to_rms(data: np.ndarray, reference_rms: float) -> np.ndarray:
-    """Zero-mean, reference-RMS copy of ``data`` (flat data stays zero)."""
-    centered = data - data.mean()
-    rms = float(np.sqrt(np.mean(centered**2)))
-    if rms <= 0.0:
-        return centered
-    return centered * (reference_rms / rms)
-
-
 @dataclass
 class TrackingStep:
     """Outcome of one tracking iteration."""

@@ -21,7 +21,7 @@ from repro.eval.experiments.common import (
 from repro.eval.reporting import format_series
 from repro.signals.anomalies import AnomalySpec, make_anomalous_signal
 from repro.signals.generator import EEGGenerator
-from repro.signals.types import AnomalyType
+from repro.signals.types import AnomalyType, Signal
 
 
 @dataclass
@@ -46,7 +46,7 @@ class MotivationResult:
         )
 
 
-def _pick_tracking_start(patient, n_iterations: int) -> int:
+def _pick_tracking_start(patient: Signal, n_iterations: int) -> int:
     """Second to start tracking at: the first full second of a long burst."""
     rate = patient.sample_rate_hz
     spans = sorted(patient.anomalous_spans or ())

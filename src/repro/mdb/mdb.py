@@ -16,7 +16,7 @@ from repro.errors import MDBError
 from repro.mdb.schema import SLICE_COLLECTION, slice_from_document
 from repro.signals.types import AnomalyType, SignalSlice
 from repro.storage.persistence import load_store, save_store
-from repro.storage.store import DocumentStore
+from repro.storage.store import Collection, DocumentStore
 
 
 class MegaDatabase:
@@ -30,7 +30,7 @@ class MegaDatabase:
                 collection.create_index(fieldname)
 
     @property
-    def _slices(self):
+    def _slices(self) -> Collection:
         return self.store.collection(SLICE_COLLECTION)
 
     def __len__(self) -> int:

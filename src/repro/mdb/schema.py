@@ -19,7 +19,7 @@ Each MDB document stores one :class:`~repro.signals.types.SignalSlice`:
 
 from __future__ import annotations
 
-from typing import Any, Mapping
+from typing import Any, Mapping, TypedDict
 
 import numpy as np
 
@@ -30,9 +30,22 @@ from repro.signals.types import AnomalyType, SignalSlice
 SLICE_COLLECTION = "signal_sets"
 
 
+class SliceDocument(TypedDict):
+    """Typed shape of one signal-set document (pre-insert, no ``_id``)."""
+
+    slice_id: str
+    label: str
+    anomalous: int
+    dataset: str
+    source: str
+    channel: str
+    start_sample: int
+    samples: np.ndarray
+
+
 def slice_to_document(
     sig_slice: SignalSlice, dataset: str, channel: str
-) -> dict[str, Any]:
+) -> SliceDocument:
     """Convert a signal-set into its MDB document."""
     return {
         "slice_id": sig_slice.slice_id,

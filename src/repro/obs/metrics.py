@@ -25,6 +25,7 @@ from __future__ import annotations
 import json
 import threading
 from bisect import insort
+from typing import Any, Mapping, TypedDict
 
 from repro.errors import ObservabilityError
 
@@ -37,6 +38,32 @@ HISTOGRAM_MAX_SAMPLES = 8192
 
 #: Percentiles every histogram exports.
 HISTOGRAM_PERCENTILES = (50, 95, 99)
+
+
+class HistogramSummary(TypedDict, total=False):
+    """Exported shape of one histogram (see :meth:`Histogram.as_dict`).
+
+    ``total=False`` because the ``p<N>`` keys follow
+    :data:`HISTOGRAM_PERCENTILES`; count/sum/min/max/mean are always
+    present.
+    """
+
+    count: float
+    sum: float
+    min: float
+    max: float
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+
+
+class MetricsDocument(TypedDict):
+    """Exported shape of a whole registry (``as_dict``/``to_json``)."""
+
+    counters: dict[str, int]
+    gauges: dict[str, float]
+    histograms: dict[str, HistogramSummary]
 
 
 def _percentile(sorted_values: list[float], pct: float) -> float:
@@ -115,8 +142,8 @@ class Histogram:
     def percentile(self, pct: float) -> float:
         return _percentile(self._sorted, pct)
 
-    def as_dict(self) -> dict[str, float]:
-        summary: dict[str, float] = {
+    def as_dict(self) -> HistogramSummary:
+        summary: HistogramSummary = {
             "count": self.count,
             "sum": self.total,
             "min": self.min if self.count else 0.0,
@@ -124,7 +151,7 @@ class Histogram:
             "mean": self.mean,
         }
         for pct in HISTOGRAM_PERCENTILES:
-            summary[f"p{pct}"] = self.percentile(pct)
+            summary[f"p{pct}"] = self.percentile(pct)  # type: ignore[literal-required]
         return summary
 
 
@@ -207,7 +234,7 @@ class MetricsRegistry:
 
     # -- export / merge ------------------------------------------------
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> MetricsDocument:
         """JSON-serialisable snapshot of every instrument."""
         with self._lock:
             return {
@@ -228,7 +255,7 @@ class MetricsRegistry:
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.as_dict(), indent=indent)
 
-    def merge_dict(self, document: dict) -> None:
+    def merge_dict(self, document: MetricsDocument | Mapping[str, Any]) -> None:
         """Fold an exported metrics document into this registry.
 
         Counters add, gauges take the incoming value, histogram

@@ -21,6 +21,7 @@ import io
 import pstats
 import time
 from contextlib import contextmanager
+from types import TracebackType
 from typing import TYPE_CHECKING, Iterator
 
 if TYPE_CHECKING:
@@ -66,7 +67,12 @@ class NsTimer:
             self._start_ns = 0
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         if self._start_ns:
             elapsed_s = (time.perf_counter_ns() - self._start_ns) * 1e-9
             self.registry.observe(f"obs.timer.{self.name}.s", elapsed_s)

@@ -26,6 +26,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
+from types import TracebackType
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:
@@ -57,7 +58,7 @@ class Span:
             return 0.0
         return (self.end_ns - self.start_ns) * 1e-9
 
-    def annotate(self, **metadata) -> None:
+    def annotate(self, **metadata: object) -> None:
         """Attach metadata to the span (merged into any existing keys)."""
         self.metadata.update(metadata)
 
@@ -68,12 +69,17 @@ class Span:
         self.start_ns = time.perf_counter_ns()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         self.end_ns = time.perf_counter_ns()
         if self.pushed:
             self.tracer._pop(self)
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, object]:
         return {
             "name": self.name,
             "elapsed_s": self.elapsed_s,
@@ -106,7 +112,7 @@ class Tracer:
 
     # -- span lifecycle ------------------------------------------------
 
-    def span(self, name: str, **metadata) -> Span:
+    def span(self, name: str, **metadata: object) -> "Span":
         """A new span; use as a context manager."""
         return Span(name=name, tracer=self, metadata=metadata)
 

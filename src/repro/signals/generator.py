@@ -29,6 +29,12 @@ from scipy import signal as sp_signal
 from repro.errors import SignalError
 from repro.signals.types import BASE_SAMPLE_RATE_HZ, AnomalyType, Signal
 
+#: RMS below this is numerically degenerate: dividing by it would only
+#: amplify float residue (or overflow outright), never recover signal.
+#: An exact ``== 0.0`` guard here once let denormal-RMS noise through
+#: and normalised it to full amplitude (emaplint EM004).
+_RMS_EPSILON = 1e-12
+
 #: Classical EEG bands (Hz).  Gamma is excluded: the paper's 11–40 Hz
 #: bandpass keeps at most its lowest edge, and scalp gamma is tiny.
 EEG_BANDS: dict[str, tuple[float, float]] = {
@@ -107,7 +113,7 @@ def pink_noise(
     shaping[1:] = freqs[1:] ** (-exponent / 2.0)
     shaped = np.fft.irfft(spectrum * shaping, n=n_samples)
     rms = float(np.sqrt(np.mean(shaped**2)))
-    if rms == 0.0:
+    if rms < _RMS_EPSILON:
         return shaped
     return shaped / rms
 
@@ -131,7 +137,7 @@ def band_noise(
     sos = sp_signal.butter(4, [low, high], btype="bandpass", fs=sample_rate_hz, output="sos")
     shaped = sp_signal.sosfiltfilt(sos, white)
     rms = float(np.sqrt(np.mean(shaped**2)))
-    if rms == 0.0:
+    if rms < _RMS_EPSILON:
         return shaped
     return shaped / rms
 
@@ -198,7 +204,7 @@ class EEGGenerator:
         for component, weight in zip(components, weights):
             mixture += weight * component
         rms = float(np.sqrt(np.mean(mixture**2)))
-        if rms == 0.0:
+        if rms < _RMS_EPSILON:
             return mixture
         return mixture / rms
 

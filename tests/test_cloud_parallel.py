@@ -9,6 +9,7 @@ from repro.cloud.parallel import (
     partition_indices,
     partition_slices,
 )
+from repro.cloud.plane import SearchPlane
 from repro.cloud.results import SearchMatch, SearchResult
 from repro.cloud.search import SearchConfig, SlidingWindowSearch
 from repro.errors import SearchError
@@ -125,3 +126,39 @@ class TestParallelSearch:
             ParallelSearch(n_chunks=0)
         with pytest.raises(SearchError):
             ParallelSearch(n_workers=0)
+
+
+class TestBindLifecycle:
+    def test_rebind_releases_owned_plane_segment(self, mdb_slices):
+        # Regression: rebinding used to abandon the previous owned
+        # plane with its shared-memory segment still allocated, leaking
+        # it until interpreter exit.
+        engine = ParallelSearch(SearchConfig(), n_chunks=2)
+        first = engine.bind(mdb_slices[:8])
+        first.share()
+        assert first._shm is not None
+        second = engine.bind(mdb_slices[8:16])
+        assert first._shm is None
+        assert engine.plane is second
+        engine.close()
+
+    def test_rebind_keeps_borrowed_plane_alive(self, mdb_slices):
+        plane = SearchPlane(mdb_slices[:8])
+        plane.share()
+        engine = ParallelSearch(SearchConfig(), n_chunks=2)
+        engine.bind(plane)
+        engine.bind(mdb_slices[8:16])
+        # The caller owns `plane`; rebinding must not close it.
+        assert plane._shm is not None
+        plane.close()
+        engine.close()
+
+    def test_rebind_same_plane_is_noop(self, mdb_slices):
+        plane = SearchPlane(mdb_slices[:8])
+        plane.share()
+        engine = ParallelSearch(SearchConfig(), n_chunks=2)
+        engine.bind(plane)
+        engine.bind(plane)
+        assert plane._shm is not None
+        plane.close()
+        engine.close()

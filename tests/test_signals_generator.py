@@ -14,6 +14,17 @@ from repro.signals.generator import (
 )
 
 
+class _TinyRng:
+    """Generator stand-in emitting normal draws scaled toward denormal."""
+
+    def __init__(self, scale):
+        self._rng = np.random.default_rng(0)
+        self._scale = scale
+
+    def standard_normal(self, n):
+        return self._rng.standard_normal(n) * self._scale
+
+
 class TestBackgroundSpec:
     def test_defaults_valid(self):
         BackgroundSpec()
@@ -45,6 +56,13 @@ class TestPinkNoise:
         with pytest.raises(SignalError, match="positive"):
             pink_noise(0, np.random.default_rng(0))
 
+    def test_denormal_input_not_amplified(self):
+        # Regression: the zero-RMS guard used to be `rms == 0.0`, so a
+        # denormal-tiny RMS slipped past it and the normalising divide
+        # amplified pure numerical residue up to unit amplitude.
+        noise = pink_noise(4096, _TinyRng(1e-160))
+        assert np.max(np.abs(noise)) < 1e-6
+
 
 class TestBandNoise:
     def test_energy_concentrated_in_band(self):
@@ -57,6 +75,12 @@ class TestBandNoise:
     def test_rejects_band_outside_nyquist(self):
         with pytest.raises(SignalError, match="invalid"):
             band_noise(100, (100.0, 200.0), 256.0, np.random.default_rng(0))
+
+    def test_denormal_input_not_amplified(self):
+        # Same regression as TestPinkNoise: effectively-silent input
+        # must come back (near-)silent, not renormalised to unit RMS.
+        noise = band_noise(4096, EEG_BANDS["beta"], 256.0, _TinyRng(1e-160))
+        assert np.max(np.abs(noise)) < 1e-6
 
 
 class TestEEGGenerator:

@@ -1,0 +1,6 @@
+"""``python -m emaplint`` dispatch."""
+
+from emaplint.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,99 @@
+"""Command-line entry point: ``python -m emaplint <paths...>``.
+
+Exit codes: 0 clean, 1 findings (or unparsable target files), 2 usage
+errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import IO, Sequence
+
+from emaplint.engine import LintEngine
+from emaplint.registry import RULES
+from emaplint.reporters import render_json, render_text
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="emaplint",
+        description="EMAP project-specific static analysis",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (e.g. src tests benchmarks)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="finding output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="list exercised suppression comments after the findings",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _list_rules(stream: IO[str]) -> None:
+    from emaplint.registry import all_rules
+
+    for rule_class in all_rules():
+        stream.write(f"{rule_class.id}  {rule_class.name}\n")
+        if rule_class.rationale:
+            stream.write(f"       {rule_class.rationale}\n")
+
+
+def _parse_codes(raw: str | None) -> list[str] | None:
+    if raw is None:
+        return None
+    return [code.strip() for code in raw.split(",") if code.strip()]
+
+
+def main(argv: Sequence[str] | None = None, stream: IO[str] | None = None) -> int:
+    out: IO[str] = stream if stream is not None else sys.stdout
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        _list_rules(out)
+        return 0
+    if not args.paths:
+        parser.print_usage(out)
+        out.write("emaplint: error: no paths given\n")
+        return 2
+    try:
+        engine = LintEngine(
+            select=_parse_codes(args.select), ignore=_parse_codes(args.ignore)
+        )
+    except ValueError as error:
+        out.write(f"emaplint: error: {error} (known: {', '.join(sorted(RULES))})\n")
+        return 2
+    try:
+        result = engine.lint_paths(args.paths)
+    except FileNotFoundError as error:
+        out.write(f"emaplint: error: {error}\n")
+        return 2
+    if args.format == "json":
+        render_json(result, out)
+    else:
+        render_text(result, out, verbose=args.show_suppressed)
+    return 0 if result.clean else 1

@@ -1,0 +1,219 @@
+"""The lint engine: file discovery, parsing, dispatch, suppression.
+
+Each file is read and parsed exactly once; every in-scope rule gets its
+own visitor instance over the shared tree.  Suppression comments are
+resolved *after* rules run, so the engine can report which suppressions
+were actually exercised — the repo-clean test audits that list against
+an explicit allowlist.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass, field
+from io import StringIO
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from emaplint.registry import (
+    RULES,
+    SKIPPED_PARTS,
+    Finding,
+    Rule,
+    all_rules,
+)
+
+#: ``# emaplint: disable=EM004`` / ``# emaplint: disable=EM001,EM006``.
+#: No leading ``#`` anchor: suppressions are only searched for inside
+#: COMMENT tokens, and this lets them share a line with other markers
+#: (``# pragma: no cover - emaplint: disable=EM006``).
+_SUPPRESS_RE = re.compile(
+    r"\bemaplint:\s*(?P<kind>disable|disable-next-line)\s*=\s*"
+    r"(?P<codes>EM\d{3}(?:\s*,\s*EM\d{3})*)"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One exercised suppression comment (for allowlist auditing)."""
+
+    path: str
+    line: int
+    rule_id: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule_id}"
+
+
+@dataclass
+class SourceFile:
+    """A parsed lint target plus its per-line suppression table."""
+
+    path: str
+    text: str
+    tree: ast.Module
+    #: line number -> set of rule ids disabled on that line.
+    disabled: dict[int, set[str]]
+
+    @classmethod
+    def parse(cls, path: str, text: str) -> "SourceFile":
+        tree = ast.parse(text, filename=path)
+        return cls(path=path, text=text, tree=tree, disabled=_scan_suppressions(text))
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        return finding.rule_id in self.disabled.get(finding.line, set())
+
+
+def _scan_suppressions(text: str) -> dict[int, set[str]]:
+    """Per-line disabled rule ids, honouring ``disable-next-line``.
+
+    Comments are located with :mod:`tokenize` so string literals that
+    merely *contain* the magic text do not suppress anything.
+    """
+    disabled: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(StringIO(text).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if match is None:
+                continue
+            codes = {code.strip() for code in match.group("codes").split(",")}
+            line = token.start[0]
+            if match.group("kind") == "disable-next-line":
+                line += 1
+            disabled.setdefault(line, set()).update(codes)
+    except tokenize.TokenError:  # unterminated constructs: no suppressions
+        pass
+    return disabled
+
+
+@dataclass
+class LintResult:
+    """Outcome of one engine run over a file set."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Suppression] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "files_checked": self.files_checked,
+            "findings": [finding.as_dict() for finding in self.findings],
+            "suppressed": [
+                {"path": s.path, "line": s.line, "rule": s.rule_id}
+                for s in self.suppressed
+            ],
+        }
+
+
+class LintEngine:
+    """Runs a set of rules over files, directories, or raw source.
+
+    ``select``/``ignore`` filter by rule id; ``scoped=False`` disables
+    per-rule path scoping (used by fixture tests, which lint files
+    living under an excluded ``fixtures/`` directory on purpose).
+    """
+
+    def __init__(
+        self,
+        select: Iterable[str] | None = None,
+        ignore: Iterable[str] | None = None,
+        scoped: bool = True,
+    ) -> None:
+        chosen = all_rules()
+        if select is not None:
+            wanted = set(select)
+            unknown = wanted - set(RULES)
+            if unknown:
+                raise ValueError(f"unknown rule ids: {sorted(unknown)}")
+            chosen = [cls for cls in chosen if cls.id in wanted]
+        if ignore is not None:
+            dropped = set(ignore)
+            unknown = dropped - set(RULES)
+            if unknown:
+                raise ValueError(f"unknown rule ids: {sorted(unknown)}")
+            chosen = [cls for cls in chosen if cls.id not in dropped]
+        self.rule_classes: list[type[Rule]] = chosen
+        self.scoped = scoped
+
+    # -- file discovery ----------------------------------------------
+
+    @staticmethod
+    def discover(targets: Sequence[str | Path]) -> list[Path]:
+        """Python files under the targets, skipping fixture/cache dirs."""
+        files: list[Path] = []
+        for target in targets:
+            path = Path(target)
+            if path.is_dir():
+                candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+            elif path.suffix == ".py":
+                candidates = [path]
+            else:
+                raise FileNotFoundError(f"not a python file or directory: {path}")
+            for candidate in candidates:
+                if SKIPPED_PARTS.isdisjoint(candidate.parts):
+                    files.append(candidate)
+        return files
+
+    # -- linting ------------------------------------------------------
+
+    def lint_source(self, text: str, path: str = "<string>") -> LintResult:
+        """Lint one in-memory source blob (fixture tests use this)."""
+        return self._lint_parsed([self._parse(path, text)])
+
+    def lint_paths(self, targets: Sequence[str | Path]) -> LintResult:
+        """Lint every ``.py`` file under the given files/directories."""
+        sources: list[SourceFile | Finding] = []
+        for file_path in self.discover(targets):
+            sources.append(self._parse(str(file_path), file_path.read_text()))
+        return self._lint_parsed(sources)
+
+    def _parse(self, path: str, text: str) -> SourceFile | Finding:
+        try:
+            return SourceFile.parse(path, text)
+        except SyntaxError as error:
+            return Finding(
+                path=path,
+                line=error.lineno or 1,
+                col=(error.offset or 0) + 1,
+                rule_id="EM000",
+                message=f"file does not parse: {error.msg}",
+            )
+
+    def _lint_parsed(self, sources: list[SourceFile | Finding]) -> LintResult:
+        result = LintResult()
+        for source in sources:
+            if isinstance(source, Finding):  # syntax error pseudo-finding
+                result.findings.append(source)
+                result.files_checked += 1
+                continue
+            result.files_checked += 1
+            parts = Path(source.path).parts
+            for rule_class in self.rule_classes:
+                if self.scoped and not rule_class.applies_to(parts):
+                    continue
+                instance = rule_class(source.path)
+                instance.visit(source.tree)
+                instance.finish(source.tree)
+                for finding in instance.findings:
+                    if source.is_suppressed(finding):
+                        result.suppressed.append(
+                            Suppression(
+                                path=source.path,
+                                line=finding.line,
+                                rule_id=finding.rule_id,
+                            )
+                        )
+                    else:
+                        result.findings.append(finding)
+        result.findings.sort()
+        result.suppressed.sort(key=lambda s: (s.path, s.line, s.rule_id))
+        return result

@@ -1,0 +1,33 @@
+"""Finding reporters: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+from emaplint.engine import LintResult
+
+
+def render_text(result: LintResult, stream: IO[str], verbose: bool = False) -> None:
+    """ruff-style ``path:line:col: CODE message`` lines plus a summary."""
+    for finding in result.findings:
+        stream.write(finding.render() + "\n")
+    if verbose and result.suppressed:
+        stream.write("suppressed:\n")
+        for suppression in result.suppressed:
+            stream.write(f"  {suppression.render()}\n")
+    noun = "finding" if len(result.findings) == 1 else "findings"
+    stream.write(
+        f"emaplint: {len(result.findings)} {noun} "
+        f"({result.files_checked} files checked, "
+        f"{len(result.suppressed)} suppressed)\n"
+    )
+
+
+def render_json(result: LintResult, stream: IO[str]) -> None:
+    """The full result document, one JSON object."""
+    json.dump(result.as_dict(), stream, indent=2, sort_keys=True)
+    stream.write("\n")
+
+
+REPORTERS = {"text": render_text, "json": render_json}

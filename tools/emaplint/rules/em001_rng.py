@@ -1,0 +1,89 @@
+"""EM001: no unseeded global NumPy RNG.
+
+Every random draw in this repository must flow through an explicit
+``numpy.random.Generator`` (``np.random.default_rng(seed)``), threaded
+from the caller as :class:`repro.signals.generator.EEGGenerator` does.
+The legacy global-state API (``np.random.seed`` / ``rand`` / ``randn``
+/ …) silently couples unrelated call sites through hidden module state:
+a benchmark that touches it changes every later "deterministic" draw,
+breaking the seeded-synthesis invariant the evaluation pipeline rests
+on.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from emaplint.registry import ImportMap, Rule, dotted_name, rule
+
+#: The legacy global-state surface of ``numpy.random``.  Everything a
+#: draw could come from plus the state manipulators themselves.
+LEGACY_FUNCTIONS = frozenset(
+    {
+        "seed",
+        "get_state",
+        "set_state",
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "random_integers",
+        "ranf",
+        "sample",
+        "choice",
+        "shuffle",
+        "permutation",
+        "bytes",
+        "normal",
+        "standard_normal",
+        "uniform",
+        "poisson",
+        "binomial",
+        "beta",
+        "gamma",
+        "exponential",
+        "laplace",
+        "lognormal",
+        "multivariate_normal",
+    }
+)
+
+_MESSAGE = (
+    "uses the global NumPy RNG ({origin}); thread an explicit "
+    "np.random.Generator (default_rng(seed)) instead"
+)
+
+
+@rule
+class GlobalNumpyRandom(Rule):
+    id = "EM001"
+    name = "no-global-numpy-rng"
+    rationale = (
+        "Seeded, Generator-threaded randomness is what makes every "
+        "synthesised recording and benchmark reproducible; the legacy "
+        "global RNG is cross-module hidden state."
+    )
+
+    def visit_Module(self, node: ast.Module) -> None:
+        self._imports = ImportMap().collect(node)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "numpy.random" and not node.level:
+            for item in node.names:
+                if item.name in LEGACY_FUNCTIONS:
+                    self.report(
+                        node,
+                        _MESSAGE.format(origin=f"numpy.random.{item.name}"),
+                    )
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        dotted = dotted_name(node)
+        if dotted is not None:
+            resolved = self._imports.resolve(dotted)
+            head, _, tail = resolved.rpartition(".")
+            if head == "numpy.random" and tail in LEGACY_FUNCTIONS:
+                self.report(node, _MESSAGE.format(origin=resolved))
+        self.generic_visit(node)

@@ -1,0 +1,136 @@
+"""EM003: no module-level mutable state read inside pool worker functions.
+
+``ParallelSearch`` ships work to ``ProcessPoolExecutor`` workers.  Under
+``fork`` a worker inherits a *copy* of module globals frozen at fork
+time; under ``spawn`` the module is re-imported fresh.  Either way, a
+module-level ``dict``/``list``/``set`` read by a worker function is a
+trap: mutations made in the parent after pool construction are
+invisible to workers (or differ per start method), and the object may
+not even be picklable for ``initargs``.  Worker-process state must be
+rebuilt inside the worker (the ``_pool_initializer`` /
+``_WORKER_STATE = None`` pattern in ``repro.cloud.parallel``) or passed
+explicitly through the task arguments.
+
+A *worker function* is any module-level function referenced by name as
+a pool entry point: ``pool.submit(fn, ...)`` / ``pool.map(fn, ...)`` /
+``executor.apply_async(fn)``, an ``initializer=fn`` keyword, or a
+``target=fn`` keyword (``multiprocessing.Process``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from emaplint.registry import Rule, rule
+
+#: Call attributes whose first positional argument is a worker function.
+_DISPATCH_METHODS = frozenset({"submit", "map", "apply_async", "imap", "starmap"})
+
+#: Keywords whose value names a function that runs in a worker process.
+_DISPATCH_KEYWORDS = frozenset({"initializer", "target"})
+
+_MUTABLE_CALLS = frozenset({"dict", "list", "set", "defaultdict", "OrderedDict"})
+
+
+def _is_mutable_literal(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Dict, ast.List, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_CALLS
+    return False
+
+
+@rule
+class WorkerMutableGlobals(Rule):
+    id = "EM003"
+    name = "no-mutable-globals-in-workers"
+    rationale = (
+        "Module-level mutable state diverges between parent and pool "
+        "workers (fork-time copies, spawn re-imports) and breaks the "
+        "requests-ship-only-ids contract of the persistent pool."
+    )
+
+    def visit_Module(self, node: ast.Module) -> None:
+        mutable_globals: dict[str, int] = {}
+        functions: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = {}
+        for statement in node.body:
+            if isinstance(statement, (ast.Assign, ast.AnnAssign)):
+                value = (
+                    statement.value
+                    if isinstance(statement, (ast.Assign, ast.AnnAssign))
+                    else None
+                )
+                if value is None or not _is_mutable_literal(value):
+                    continue
+                targets = (
+                    statement.targets
+                    if isinstance(statement, ast.Assign)
+                    else [statement.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        mutable_globals[target.id] = statement.lineno
+            elif isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                functions[statement.name] = statement
+        if not mutable_globals:
+            return
+        worker_names = self._worker_function_names(node)
+        for name in sorted(worker_names):
+            function = functions.get(name)
+            if function is None:
+                continue
+            local_names = _local_bindings(function)
+            for sub in ast.walk(function):
+                if (
+                    isinstance(sub, ast.Name)
+                    and isinstance(sub.ctx, ast.Load)
+                    and sub.id in mutable_globals
+                    and sub.id not in local_names
+                ):
+                    self.report(
+                        sub,
+                        f"worker function {name!r} reads module-level "
+                        f"mutable state {sub.id!r} (defined at line "
+                        f"{mutable_globals[sub.id]}); rebuild it in the "
+                        "worker initializer or pass it through task "
+                        "arguments",
+                    )
+
+    @staticmethod
+    def _worker_function_names(module: ast.Module) -> set[str]:
+        names: set[str] = set()
+        for node in ast.walk(module):
+            if not isinstance(node, ast.Call):
+                continue
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _DISPATCH_METHODS
+                and node.args
+                and isinstance(node.args[0], ast.Name)
+            ):
+                names.add(node.args[0].id)
+            for keyword in node.keywords:
+                if keyword.arg in _DISPATCH_KEYWORDS and isinstance(
+                    keyword.value, ast.Name
+                ):
+                    names.add(keyword.value.id)
+        return names
+
+
+def _local_bindings(function: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Names bound locally in ``function`` (params + assignments)."""
+    names = {arg.arg for arg in function.args.args}
+    names.update(arg.arg for arg in function.args.posonlyargs)
+    names.update(arg.arg for arg in function.args.kwonlyargs)
+    if function.args.vararg:
+        names.add(function.args.vararg.arg)
+    if function.args.kwarg:
+        names.add(function.args.kwarg.arg)
+    for node in ast.walk(function):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            names.add(node.id)
+        # A ``global`` declaration makes writes go to module scope; the
+        # name stays global, so do NOT treat it as local.
+        if isinstance(node, ast.Global):
+            names.difference_update(node.names)
+    return names

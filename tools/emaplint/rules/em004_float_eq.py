@@ -1,0 +1,58 @@
+"""EM004: no float-literal equality comparisons in signal/search code.
+
+``rms == 0.0`` style checks read as degenerate-input guards but are
+load-bearing numerical decisions: a value of ``1e-160`` passes the
+``==`` test and then detonates in the division it was guarding (inf
+overflow, or full-amplitude amplification of pure numerical residue).
+Correlation/threshold code must compare with an explicit tolerance
+(``abs(x) < eps``, ``math.isclose``, ``np.isclose``).
+
+Scope: production signal/search code only — tests and benchmarks
+legitimately assert exact float values (bit-identity across the four
+search engines is itself a repo invariant).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from emaplint.registry import Rule, rule
+
+
+def _is_float_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and type(node.value) is float:
+        return True
+    # Unary minus on a float literal (-1.0) parses as UnaryOp.
+    return (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, (ast.USub, ast.UAdd))
+        and isinstance(node.operand, ast.Constant)
+        and type(node.operand.value) is float
+    )
+
+
+@rule
+class FloatEquality(Rule):
+    id = "EM004"
+    name = "no-float-literal-equality"
+    rationale = (
+        "Exact equality against a float literal is a hidden tolerance "
+        "of zero; tiny-but-nonzero values slip past the guard and "
+        "overflow the division it protects."
+    )
+    exclude_parts = ("tests", "benchmarks", "examples")
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands[:-1], operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if _is_float_literal(left) or _is_float_literal(right):
+                symbol = "==" if isinstance(op, ast.Eq) else "!="
+                self.report(
+                    node,
+                    f"float-literal {symbol} comparison; use an explicit "
+                    "tolerance (abs(x) < eps, math.isclose, np.isclose)",
+                )
+                break
+        self.generic_visit(node)

@@ -1,0 +1,8 @@
+"""Make ``emaplint`` importable no matter where pytest was launched."""
+
+import sys
+from pathlib import Path
+
+_TOOLS_DIR = str(Path(__file__).resolve().parents[2])
+if _TOOLS_DIR not in sys.path:
+    sys.path.insert(0, _TOOLS_DIR)

@@ -1,0 +1,10 @@
+"""EM001 bad twin: every legacy global-RNG access pattern."""
+
+import numpy
+import numpy as np
+from numpy.random import seed
+
+np.random.seed(42)  # flagged: seeded global state
+noise = np.random.randn(256)  # flagged: draw from global state
+numpy.random.shuffle(noise)  # flagged: unaliased module path
+seed(0)  # flagged at the import above

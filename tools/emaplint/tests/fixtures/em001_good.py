@@ -1,0 +1,13 @@
+"""EM001 good twin: Generator threading, as repro.signals.generator."""
+
+import numpy as np
+
+
+def make_noise(rng: np.random.Generator, n: int) -> np.ndarray:
+    return rng.standard_normal(n)
+
+
+def entry(seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    rng.shuffle(values := make_noise(rng, 16))
+    return values

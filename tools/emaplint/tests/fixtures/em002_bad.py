@@ -1,0 +1,9 @@
+"""EM002 bad twin: created segment with no reachable release path."""
+
+from multiprocessing import shared_memory
+
+
+class LeakyPlane:
+    def export(self, nbytes: int) -> str:
+        segment = shared_memory.SharedMemory(create=True, size=nbytes)  # flagged
+        return segment.name  # name escapes, the handle does not

@@ -1,0 +1,28 @@
+"""EM002 good twin: owner-class release, ownership transfer, and with."""
+
+from multiprocessing import shared_memory
+
+
+class OwnedPlane:
+    def __init__(self) -> None:
+        self._shm: shared_memory.SharedMemory | None = None
+
+    def export(self, nbytes: int) -> str:
+        self._shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        return self._shm.name
+
+    def release(self) -> None:
+        if self._shm is not None:
+            self._shm.close()
+            self._shm.unlink()
+            self._shm = None
+
+
+def attach(name: str) -> shared_memory.SharedMemory:
+    segment = shared_memory.SharedMemory(name=name)
+    return segment  # ownership transferred to the caller
+
+
+def peek(name: str) -> int:
+    with shared_memory.SharedMemory(name=name) as segment:
+        return segment.size

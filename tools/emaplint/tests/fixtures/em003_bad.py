@@ -1,0 +1,14 @@
+"""EM003 bad twin: worker function reading a module-level dict."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+_NORM_CACHE: dict[int, float] = {}
+
+
+def _search_chunk(chunk: list[int]) -> float:
+    return sum(_NORM_CACHE.get(item, 0.0) for item in chunk)  # flagged
+
+
+def run(chunks: list[list[int]]) -> list[float]:
+    with ProcessPoolExecutor() as pool:
+        return [future.result() for future in [pool.submit(_search_chunk, c) for c in chunks]]

@@ -1,0 +1,21 @@
+"""EM003 good twin: the _WORKER_STATE-initializer pattern."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+_WORKER_STATE = None  # immutable placeholder; rebuilt per worker
+
+
+def _initializer(spec: dict[int, float]) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = dict(spec)  # rebuilt inside the worker process
+
+
+def _search_chunk(chunk: list[int]) -> float:
+    state = _WORKER_STATE
+    assert state is not None
+    return sum(state.get(item, 0.0) for item in chunk)
+
+
+def run(spec: dict[int, float], chunks: list[list[int]]) -> list[float]:
+    with ProcessPoolExecutor(initializer=_initializer, initargs=(spec,)) as pool:
+        return [f.result() for f in [pool.submit(_search_chunk, c) for c in chunks]]

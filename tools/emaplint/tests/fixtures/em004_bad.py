@@ -1,0 +1,14 @@
+"""EM004 bad twin: float-literal equality guards."""
+
+import numpy as np
+
+
+def normalize(shaped: np.ndarray) -> np.ndarray:
+    rms = float(np.sqrt(np.mean(shaped**2)))
+    if rms == 0.0:  # flagged: 1e-160 passes and detonates below
+        return shaped
+    return shaped / rms
+
+
+def is_perfect(omega: float) -> bool:
+    return omega != 1.0  # flagged

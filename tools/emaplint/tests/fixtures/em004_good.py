@@ -1,0 +1,22 @@
+"""EM004 good twin: tolerance comparisons and integer equality."""
+
+import math
+
+import numpy as np
+
+_EPSILON = 1e-12
+
+
+def normalize(shaped: np.ndarray) -> np.ndarray:
+    rms = float(np.sqrt(np.mean(shaped**2)))
+    if rms < _EPSILON:
+        return shaped
+    return shaped / rms
+
+
+def is_perfect(omega: float) -> bool:
+    return not math.isclose(omega, 1.0)
+
+
+def is_empty(values: np.ndarray) -> bool:
+    return values.size == 0  # integer equality is fine

@@ -1,0 +1,17 @@
+"""EM005 bad twin: incomplete annotations on the public surface."""
+
+
+def correlate(frame, series: list[float]) -> float:  # flagged: frame
+    return float(sum(a * b for a, b in zip(frame, series)))
+
+
+def publish(result) -> None:  # flagged: result
+    print(result)
+
+
+class Engine:
+    def __init__(self, delta):  # flagged: delta + missing return
+        self.delta = delta
+
+    def search(self, frame: list[float]):  # flagged: missing return
+        return [value for value in frame if value > self.delta]

@@ -1,0 +1,29 @@
+"""EM005 good twin: complete annotations; private/dunder exemptions."""
+
+from types import TracebackType
+
+
+def correlate(frame: list[float], series: list[float]) -> float:
+    return float(sum(a * b for a, b in zip(frame, series)))
+
+
+class Engine:
+    def __init__(self, delta: float) -> None:
+        self.delta = delta
+
+    def search(self, frame: list[float]) -> list[float]:
+        def keep(value):  # nested closures are exempt
+            return value > self.delta
+
+        return [value for value in frame if keep(value)]
+
+    def _publish(self, result):  # private helpers are mypy's job
+        print(result)
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        return None

@@ -1,0 +1,19 @@
+"""EM006 bad twin: bare except and swallowed broad handlers."""
+
+
+def serve(request: object) -> object:
+    try:
+        return handle(request)
+    except:  # flagged: bare
+        return None
+
+
+def cleanup(pool: object) -> None:
+    try:
+        pool.shutdown()  # type: ignore[attr-defined]
+    except Exception:  # flagged: swallowed
+        pass
+
+
+def handle(request: object) -> object:
+    return request

@@ -1,0 +1,42 @@
+"""EM006 good twin: narrow swallows, handled broads, __del__ guards."""
+
+import logging
+
+logger = logging.getLogger(__name__)
+
+
+def serve(request: object) -> object:
+    try:
+        return handle(request)
+    except ValueError:
+        return None  # narrow and handled
+
+
+def cleanup(path: str) -> None:
+    try:
+        open(path).close()
+    except FileNotFoundError:
+        pass  # narrow swallow: the author named the case
+
+
+def watch(request: object) -> object | None:
+    try:
+        return handle(request)
+    except Exception:
+        logger.exception("request failed")
+        return None
+
+
+class Resource:
+    def __del__(self) -> None:
+        try:
+            self.release()
+        except Exception:
+            pass  # raising during GC is itself a bug
+
+    def release(self) -> None:
+        return None
+
+
+def handle(request: object) -> object:
+    return request

@@ -1,0 +1,120 @@
+"""Engine mechanics: suppression, discovery, reporters, CLI."""
+
+import io
+import json
+
+import pytest
+
+from emaplint.cli import main
+from emaplint.engine import LintEngine
+
+BAD_FLOAT_EQ = "def f(x: float) -> bool:\n    return x == 0.5\n"
+
+
+def test_inline_suppression_silences_and_is_recorded():
+    source = (
+        "def f(x: float) -> bool:\n"
+        "    return x == 0.5  # emaplint: disable=EM004\n"
+    )
+    result = LintEngine(select=["EM004"], scoped=False).lint_source(source)
+    assert result.findings == []
+    assert len(result.suppressed) == 1
+    assert result.suppressed[0].rule_id == "EM004"
+    assert result.suppressed[0].line == 2
+
+
+def test_disable_next_line_suppression():
+    source = (
+        "def f(x: float) -> bool:\n"
+        "    # emaplint: disable-next-line=EM004\n"
+        "    return x == 0.5\n"
+    )
+    result = LintEngine(select=["EM004"], scoped=False).lint_source(source)
+    assert result.findings == []
+    assert len(result.suppressed) == 1
+
+
+def test_suppression_of_other_rule_does_not_apply():
+    source = (
+        "def f(x: float) -> bool:\n"
+        "    return x == 0.5  # emaplint: disable=EM001\n"
+    )
+    result = LintEngine(select=["EM004"], scoped=False).lint_source(source)
+    assert len(result.findings) == 1
+
+
+def test_suppression_comment_inside_string_is_ignored():
+    source = (
+        'NOTE = "# emaplint: disable=EM004"\n'
+        "def f(x: float) -> bool:\n"
+        "    return x == 0.5\n"
+    )
+    result = LintEngine(select=["EM004"], scoped=False).lint_source(source)
+    assert len(result.findings) == 1
+
+
+def test_syntax_error_becomes_em000_finding():
+    result = LintEngine().lint_source("def broken(:\n", path="bad.py")
+    assert len(result.findings) == 1
+    assert result.findings[0].rule_id == "EM000"
+    assert not result.clean
+
+
+def test_unknown_rule_ids_rejected():
+    with pytest.raises(ValueError):
+        LintEngine(select=["EM999"])
+    with pytest.raises(ValueError):
+        LintEngine(ignore=["EM999"])
+
+
+def test_discover_skips_fixture_and_cache_dirs(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "ok.py").write_text("x = 1\n")
+    (tmp_path / "pkg" / "fixtures").mkdir()
+    (tmp_path / "pkg" / "fixtures" / "bad.py").write_text("x = 1\n")
+    (tmp_path / "pkg" / "__pycache__").mkdir()
+    (tmp_path / "pkg" / "__pycache__" / "junk.py").write_text("x = 1\n")
+    found = LintEngine.discover([tmp_path])
+    assert [path.name for path in found] == ["ok.py"]
+
+
+def test_cli_clean_run_and_exit_codes(tmp_path):
+    target = tmp_path / "clean.py"
+    target.write_text("def f(x: int) -> int:\n    return x\n")
+    out = io.StringIO()
+    assert main([str(target)], stream=out) == 0
+    assert "0 findings" in out.getvalue()
+
+    target.write_text(BAD_FLOAT_EQ.replace("def f", "def g"))
+    out = io.StringIO()
+    assert main([str(target)], stream=out) == 1
+    assert "EM004" in out.getvalue()
+
+
+def test_cli_json_reporter(tmp_path):
+    target = tmp_path / "prog.py"
+    target.write_text(BAD_FLOAT_EQ)
+    out = io.StringIO()
+    assert main(["--format=json", str(target)], stream=out) == 1
+    document = json.loads(out.getvalue())
+    assert document["files_checked"] == 1
+    assert document["findings"][0]["rule"] == "EM004"
+    assert document["findings"][0]["line"] == 2
+
+
+def test_cli_usage_errors():
+    out = io.StringIO()
+    assert main([], stream=out) == 2
+    out = io.StringIO()
+    assert main(["--select=EM999", "somepath"], stream=out) == 2
+    out = io.StringIO()
+    assert main(["definitely-missing-dir"], stream=out) == 2
+
+
+def test_cli_select_and_ignore(tmp_path):
+    target = tmp_path / "prog.py"
+    target.write_text(BAD_FLOAT_EQ)
+    out = io.StringIO()
+    assert main(["--select=EM001", str(target)], stream=out) == 0
+    out = io.StringIO()
+    assert main(["--ignore=EM004", str(target)], stream=out) == 0

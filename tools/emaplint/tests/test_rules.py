@@ -1,0 +1,72 @@
+"""Per-rule fixture tests: each rule fires on its minimal bad example
+and stays silent on the good twin."""
+
+from pathlib import Path
+
+import pytest
+
+from emaplint.engine import LintEngine
+from emaplint.registry import RULES, all_rules
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: rule id -> number of findings its bad fixture must produce.
+EXPECTED_BAD_FINDINGS = {
+    "EM001": 4,
+    "EM002": 1,
+    "EM003": 1,
+    "EM004": 2,
+    "EM005": 5,
+    "EM006": 2,
+}
+
+
+def _lint_fixture(rule_id: str, twin: str):
+    path = FIXTURES / f"{rule_id.lower()}_{twin}.py"
+    engine = LintEngine(select=[rule_id], scoped=False)
+    return engine.lint_source(path.read_text(), path=str(path))
+
+
+@pytest.mark.parametrize("rule_id", sorted(EXPECTED_BAD_FINDINGS))
+def test_rule_fires_on_bad_fixture(rule_id):
+    result = _lint_fixture(rule_id, "bad")
+    assert len(result.findings) == EXPECTED_BAD_FINDINGS[rule_id]
+    assert {finding.rule_id for finding in result.findings} == {rule_id}
+
+
+@pytest.mark.parametrize("rule_id", sorted(EXPECTED_BAD_FINDINGS))
+def test_rule_silent_on_good_fixture(rule_id):
+    result = _lint_fixture(rule_id, "good")
+    assert result.findings == []
+
+
+def test_every_registered_rule_has_fixture_coverage():
+    registered = {cls.id for cls in all_rules()}
+    assert registered == set(EXPECTED_BAD_FINDINGS)
+    for rule_id in registered:
+        assert (FIXTURES / f"{rule_id.lower()}_bad.py").is_file()
+        assert (FIXTURES / f"{rule_id.lower()}_good.py").is_file()
+
+
+def test_rule_metadata_complete():
+    for rule_class in all_rules():
+        assert rule_class.id in RULES
+        assert rule_class.name and rule_class.name != "abstract-rule"
+        assert rule_class.rationale
+
+
+def test_em004_scoped_out_of_tests_and_benchmarks():
+    source = "x = 1.0\nflag = x == 0.0\n"
+    scoped = LintEngine(select=["EM004"])  # default scoping on
+    assert scoped.lint_source(source, path="tests/test_thing.py").findings == []
+    assert scoped.lint_source(source, path="benchmarks/bench.py").findings == []
+    assert len(scoped.lint_source(source, path="src/repro/x.py").findings) == 1
+
+
+def test_em005_scoped_to_hot_paths():
+    source = "def search(frame):\n    return frame\n"
+    scoped = LintEngine(select=["EM005"])
+    hot = scoped.lint_source(source, path="src/repro/cloud/search.py")
+    assert len(hot.findings) == 2  # unannotated param + missing return
+    cold = scoped.lint_source(source, path="src/repro/signals/filters.py")
+    assert cold.findings == []
