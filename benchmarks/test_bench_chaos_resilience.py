@@ -1,0 +1,86 @@
+"""Bench: chaos sweep — closed-loop survival under injected faults.
+
+Runs one seizure session per fault class through the resilient batch
+loop and reports degradation/recovery counters; the headline assertion
+is the resilience contract itself (no unhandled exception, bounded
+degraded fraction, recovery after the fault window).
+"""
+
+from repro.cloud.client import ResilienceConfig
+from repro.cloud.server import CloudServer
+from repro.faults import FaultInjector, FaultKind, FaultPlan
+from repro.runtime.framework import EMAPFramework, FrameworkConfig
+from repro.signals.anomalies import AnomalySpec, make_anomalous_signal
+from repro.signals.generator import EEGGenerator
+from repro.signals.types import AnomalyType
+
+RESILIENCE = ResilienceConfig(
+    deadline_s=5.0,
+    max_retries=1,
+    breaker_failure_threshold=2,
+    breaker_cooldown_s=3.0,
+    seed=7,
+)
+
+
+def run_chaos_sweep(fixture):
+    spec = AnomalySpec(kind=AnomalyType.SEIZURE, onset_s=70.0, buildup_s=60.0)
+    recording = make_anomalous_signal(
+        EEGGenerator(seed=77), 80.0, spec, source="bench/chaos"
+    )
+    rows = []
+    for kind in FaultKind:
+        magnitude = 50.0 if kind is FaultKind.LATENCY_SPIKE else 1.0
+        plan = FaultPlan.single(
+            kind, first_call=1, last_call=5, magnitude=magnitude, seed=17
+        )
+        server = FaultInjector(CloudServer(fixture.slices), plan)
+        framework = EMAPFramework(
+            server, FrameworkConfig(resilience=RESILIENCE)
+        )
+        result = framework.run(recording)
+        rows.append(
+            {
+                "fault": kind.value,
+                "injected": server.injected,
+                "iterations": result.iterations,
+                "cloud_calls": result.cloud_calls,
+                "cloud_failures": result.cloud_failures,
+                "degraded_iterations": result.degraded_iterations,
+                "recovered": not result.stale_series[-1],
+                "final_prediction": result.final_prediction,
+            }
+        )
+    return rows
+
+
+def render_report(rows) -> str:
+    header = (
+        f"{'fault':<16} {'inj':>4} {'iters':>6} {'calls':>6} "
+        f"{'fails':>6} {'degraded':>9} {'recovered':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['fault']:<16} {row['injected']:>4} {row['iterations']:>6} "
+            f"{row['cloud_calls']:>6} {row['cloud_failures']:>6} "
+            f"{row['degraded_iterations']:>9} {str(row['recovered']):>10}"
+        )
+    return "\n".join(lines)
+
+
+def test_bench_chaos_resilience(benchmark, fixture, save_report):
+    rows = benchmark.pedantic(
+        run_chaos_sweep, kwargs={"fixture": fixture}, rounds=1, iterations=1
+    )
+    save_report("chaos_resilience", render_report(rows))
+    for row in rows:
+        # Every fault class injected something and the session ran to
+        # the end of the recording.
+        assert row["injected"] > 0, row
+        assert row["iterations"] > 0, row
+        # Degradation is bounded: the loop spends most of the session
+        # on fresh sets even with a 5-call fault window.
+        assert row["degraded_iterations"] <= row["iterations"] // 2, row
+        # The loop exits the fault window on a fresh (non-stale) set.
+        assert row["recovered"], row

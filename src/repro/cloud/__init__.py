@@ -12,8 +12,19 @@
 * :mod:`repro.cloud.server` — the CloudServer facade used by the
   closed-loop framework, combining the plane, a search engine and the
   timing model.
+* :mod:`repro.cloud.client` — the resilient call path the runtime
+  loops dispatch through: per-call deadlines, seeded retries with
+  exponential backoff, payload validation, and a circuit breaker.
 """
 
+from repro.cloud.client import (
+    BreakerState,
+    CloudCallOutcome,
+    CloudEndpoint,
+    ResilienceConfig,
+    ResilientCloudClient,
+    validate_payload,
+)
 from repro.cloud.parallel import (
     ParallelSearch,
     merge_results,
@@ -33,6 +44,9 @@ from repro.cloud.search import (
 from repro.cloud.server import CloudServer
 
 __all__ = [
+    "BreakerState",
+    "CloudCallOutcome",
+    "CloudEndpoint",
     "CloudServer",
     "CorrelationSearch",
     "ExhaustiveSearch",
@@ -40,6 +54,8 @@ __all__ = [
     "FixedSkipPolicy",
     "ParallelSearch",
     "PlaneCore",
+    "ResilienceConfig",
+    "ResilientCloudClient",
     "SearchConfig",
     "SearchMatch",
     "SearchPlane",
@@ -48,4 +64,5 @@ __all__ = [
     "merge_results",
     "partition_indices",
     "partition_slices",
+    "validate_payload",
 ]

@@ -1,0 +1,345 @@
+"""Resilient cloud-call path: deadlines, retries, circuit breaker.
+
+:class:`ResilientCloudClient` sits between a runtime loop and any
+``handle_frame`` endpoint (a :class:`~repro.cloud.server.CloudServer`,
+or a :class:`~repro.faults.injector.FaultInjector` wrapping one) and
+turns raw failures into a bounded, observable outcome the loop can
+degrade on instead of crashing:
+
+* **Per-call deadline** — a call whose simulated Eq. 4 latency exceeds
+  ``deadline_s`` is abandoned as a timeout (the edge cannot block the
+  1 s loop on a 10 s download).
+* **Payload validation** — a result whose matches were dropped in
+  transit (empty while the search admitted candidates) or corrupted
+  (offsets past the end of their slices) is rejected like any other
+  failed attempt.
+* **Bounded retries** — up to ``max_retries`` re-attempts with seeded
+  exponential backoff plus jitter; all randomness comes from one
+  ``numpy.random.Generator``, so a session replays bit-identically.
+* **Circuit breaker** — ``breaker_failure_threshold`` consecutive
+  failed calls open the breaker: further calls fail fast (no attempt)
+  until ``breaker_cooldown_s`` of simulated time passes, then one
+  half-open probe decides between closing and re-opening.
+
+Failed time is *simulated*: the outcome's ``penalty_s`` is how much
+simulated wall-clock the failed attempts and backoffs consumed, which
+the batch framework adds to the dispatch timeline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import TYPE_CHECKING, Protocol
+
+import numpy as np
+
+from repro import obs
+from repro.errors import CloudUnavailableError, EMAPError, FrameworkError, PayloadError
+
+if TYPE_CHECKING:  # runtime/signal types are only type annotations here
+    from repro.cloud.results import SearchResult
+    from repro.runtime.timing import TimingBreakdown, TimingModel
+    from repro.signals.types import Frame
+
+
+class CloudEndpoint(Protocol):
+    """The server surface the client (and the fault injector) wraps.
+
+    Satisfied by :class:`~repro.cloud.server.CloudServer` and by
+    :class:`~repro.faults.injector.FaultInjector` — chaos proxies stack
+    under the resilient client transparently.
+    """
+
+    @property
+    def timing(self) -> TimingModel:
+        ...
+
+    def handle_frame(
+        self, frame: Frame | np.ndarray
+    ) -> tuple[SearchResult, TimingBreakdown]:
+        ...
+
+
+class BreakerState(Enum):
+    """Circuit-breaker states (gauge values in parentheses)."""
+
+    CLOSED = "closed"
+    HALF_OPEN = "half_open"
+    OPEN = "open"
+
+
+#: Gauge encoding for ``cloud.client.breaker_state``.
+BREAKER_GAUGE = {
+    BreakerState.CLOSED: 0.0,
+    BreakerState.HALF_OPEN: 1.0,
+    BreakerState.OPEN: 2.0,
+}
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Knobs of the resilient call path.
+
+    The default deadline comfortably admits the paper's ~3 s Δinitial
+    while rejecting a 50× spike on the 200 ms download budget; backoff
+    is exponential (``base · factor^attempt``) with multiplicative
+    jitter drawn uniformly from ``[1, 1 + jitter]``.
+    """
+
+    deadline_s: float = 10.0
+    max_retries: int = 2
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_jitter: float = 0.5
+    breaker_failure_threshold: int = 3
+    breaker_cooldown_s: float = 10.0
+    validate_payloads: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.deadline_s <= 0:
+            raise FrameworkError(f"deadline must be positive, got {self.deadline_s}")
+        if self.max_retries < 0:
+            raise FrameworkError(
+                f"max retries must be non-negative, got {self.max_retries}"
+            )
+        if self.backoff_base_s < 0:
+            raise FrameworkError(
+                f"backoff base must be non-negative, got {self.backoff_base_s}"
+            )
+        if self.backoff_factor < 1.0:
+            raise FrameworkError(
+                f"backoff factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.backoff_jitter < 0:
+            raise FrameworkError(
+                f"backoff jitter must be non-negative, got {self.backoff_jitter}"
+            )
+        if self.breaker_failure_threshold < 1:
+            raise FrameworkError(
+                "breaker failure threshold must be >= 1, got "
+                f"{self.breaker_failure_threshold}"
+            )
+        if self.breaker_cooldown_s < 0:
+            raise FrameworkError(
+                f"breaker cooldown must be non-negative, got {self.breaker_cooldown_s}"
+            )
+        if self.seed < 0:
+            raise FrameworkError(f"seed must be non-negative, got {self.seed}")
+
+
+@dataclass(frozen=True)
+class CloudCallOutcome:
+    """What one resilient call produced (success or classified failure)."""
+
+    ok: bool
+    result: SearchResult | None
+    breakdown: TimingBreakdown | None
+    attempts: int
+    retries: int
+    #: Simulated seconds the failed attempts + backoffs consumed before
+    #: the successful attempt started (0 on a clean first try).
+    penalty_s: float
+    failure: str | None
+    breaker_state: BreakerState
+    #: Breaker transitions this call caused, in order (event-log fodder).
+    transitions: tuple[BreakerState, ...] = ()
+
+
+def validate_payload(result: SearchResult, frame_samples: int) -> None:
+    """Reject a dropped or corrupted search-result payload.
+
+    A payload is *dropped* when the matches list is empty although the
+    search statistics say candidates were admitted, and *corrupt* when
+    any match carries a non-finite ω or an offset no valid sliding
+    window could produce (``offset + frame > len(slice)``).
+    """
+    if not result.matches:
+        if result.candidates_above_threshold > 0:
+            raise PayloadError(
+                "payload dropped: search admitted "
+                f"{result.candidates_above_threshold} candidates but zero "
+                "matches arrived"
+            )
+        return
+    for match in result.matches:
+        if not math.isfinite(match.omega):
+            raise PayloadError(f"corrupt payload: non-finite omega {match.omega}")
+        if match.offset + frame_samples > len(match.sig_slice):
+            raise PayloadError(
+                f"corrupt payload: offset {match.offset} leaves no room for a "
+                f"{frame_samples}-sample window in a {len(match.sig_slice)}-sample "
+                "slice"
+            )
+
+
+class ResilientCloudClient:
+    """Deadline + retry + circuit-breaker wrapper over a cloud endpoint."""
+
+    def __init__(
+        self, endpoint: CloudEndpoint, config: ResilienceConfig | None = None
+    ) -> None:
+        self.endpoint = endpoint
+        self.config = config or ResilienceConfig()
+        self._rng = np.random.default_rng(self.config.seed)
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at_s = 0.0
+        self.calls = 0
+        self.successes = 0
+        self.failures = 0
+        self.retries_total = 0
+        self.timeouts_total = 0
+        self.fast_failures = 0
+
+    @property
+    def breaker_state(self) -> BreakerState:
+        return self._state
+
+    def reset(self) -> None:
+        """Fresh session: close the breaker, reseed the backoff RNG."""
+        self._rng = np.random.default_rng(self.config.seed)
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at_s = 0.0
+
+    def call(self, frame: Frame | np.ndarray, now_s: float) -> CloudCallOutcome:
+        """One resilient cloud call at simulated instant ``now_s``."""
+        self.calls += 1
+        transitions: list[BreakerState] = []
+
+        if self._state is BreakerState.OPEN:
+            if now_s - self._opened_at_s >= self.config.breaker_cooldown_s:
+                self._transition(BreakerState.HALF_OPEN, transitions)
+            else:
+                self.fast_failures += 1
+                self._record_counter("cloud.client.fast_fails")
+                return self._failure_outcome(
+                    attempts=0, penalty_s=0.0, failure="breaker_open",
+                    transitions=transitions,
+                )
+
+        # A half-open breaker grants exactly one probe attempt.
+        budget = 1 if self._state is BreakerState.HALF_OPEN else self.config.max_retries + 1
+        frame_samples = self._frame_samples(frame)
+        penalty_s = 0.0
+        failure: str | None = None
+
+        for attempt in range(budget):
+            if attempt > 0:
+                backoff = self._backoff_s(attempt - 1)
+                penalty_s += backoff
+                self.retries_total += 1
+                self._record_counter("cloud.client.retries")
+            try:
+                result, breakdown = self.endpoint.handle_frame(frame)
+            except EMAPError as error:
+                failure = self._classify(error)
+                continue
+            if breakdown.initial_s > self.config.deadline_s:
+                failure = "timeout"
+                penalty_s += self.config.deadline_s
+                self.timeouts_total += 1
+                self._record_counter("cloud.client.timeouts")
+                continue
+            if self.config.validate_payloads:
+                try:
+                    validate_payload(result, frame_samples)
+                except PayloadError as error:
+                    failure = self._classify(error)
+                    penalty_s += breakdown.initial_s
+                    continue
+            # Success: close the breaker and hand the result back.
+            self.successes += 1
+            if self._state is not BreakerState.CLOSED:
+                self._transition(BreakerState.CLOSED, transitions)
+            self._consecutive_failures = 0
+            return CloudCallOutcome(
+                ok=True,
+                result=result,
+                breakdown=breakdown,
+                attempts=attempt + 1,
+                retries=attempt,
+                penalty_s=penalty_s,
+                failure=None,
+                breaker_state=self._state,
+                transitions=tuple(transitions),
+            )
+
+        # Every attempt failed: drive the breaker state machine.
+        if self._state is BreakerState.HALF_OPEN:
+            self._open(now_s, transitions)
+        else:
+            self._consecutive_failures += 1
+            if self._consecutive_failures >= self.config.breaker_failure_threshold:
+                self._open(now_s, transitions)
+        return self._failure_outcome(
+            attempts=budget, penalty_s=penalty_s, failure=failure,
+            transitions=transitions,
+        )
+
+    # -- internals -----------------------------------------------------
+
+    def _failure_outcome(
+        self,
+        attempts: int,
+        penalty_s: float,
+        failure: str | None,
+        transitions: list[BreakerState],
+    ) -> CloudCallOutcome:
+        self.failures += 1
+        self._record_counter("cloud.client.failures")
+        return CloudCallOutcome(
+            ok=False,
+            result=None,
+            breakdown=None,
+            attempts=attempts,
+            retries=max(0, attempts - 1),
+            penalty_s=penalty_s,
+            failure=failure,
+            breaker_state=self._state,
+            transitions=tuple(transitions),
+        )
+
+    def _backoff_s(self, retry_index: int) -> float:
+        """Seeded exponential backoff with multiplicative jitter."""
+        base = self.config.backoff_base_s * self.config.backoff_factor**retry_index
+        jitter = 1.0 + self.config.backoff_jitter * float(self._rng.uniform())
+        return base * jitter
+
+    def _open(self, now_s: float, transitions: list[BreakerState]) -> None:
+        self._opened_at_s = now_s
+        self._consecutive_failures = 0
+        self._transition(BreakerState.OPEN, transitions)
+
+    def _transition(
+        self, state: BreakerState, transitions: list[BreakerState]
+    ) -> None:
+        if state is self._state:
+            return
+        self._state = state
+        transitions.append(state)
+        registry = obs.metrics()
+        if registry.enabled:
+            registry.set_gauge("cloud.client.breaker_state", BREAKER_GAUGE[state])
+
+    @staticmethod
+    def _classify(error: EMAPError) -> str:
+        if isinstance(error, CloudUnavailableError):
+            return "unreachable"
+        if isinstance(error, PayloadError):
+            return "payload"
+        return "search_error"
+
+    @staticmethod
+    def _frame_samples(frame: Frame | np.ndarray) -> int:
+        data = getattr(frame, "data", frame)
+        return int(np.asarray(data).size)
+
+    @staticmethod
+    def _record_counter(name: str) -> None:
+        registry = obs.metrics()
+        if registry.enabled:
+            registry.inc(name)

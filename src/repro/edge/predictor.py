@@ -112,14 +112,20 @@ class ProbabilityTrace:
 
 
 def theil_sen_slope(values: list[float] | np.ndarray) -> float:
-    """Median of pairwise slopes — robust to single-iteration jumps."""
+    """Median of pairwise slopes — robust to single-iteration jumps.
+
+    Vectorised: one gathered difference over the upper-triangle index
+    pairs replaces the O(n²) pure-Python pair loop (this runs inside
+    every per-frame ``predict()`` call).  ``triu_indices`` enumerates
+    pairs in the same (i, j) order as the nested loops did, so the
+    slope array — and the median — are bit-identical to the scalar
+    implementation.
+    """
     series = np.asarray(values, dtype=np.float64)
     if series.ndim != 1 or series.size < 2:
         raise TrackingError("need at least two values for a slope")
-    slopes = []
-    for i in range(series.size - 1):
-        for j in range(i + 1, series.size):
-            slopes.append((series[j] - series[i]) / (j - i))
+    rows, cols = np.triu_indices(series.size, k=1)
+    slopes = (series[cols] - series[rows]) / (cols - rows)
     return float(np.median(slopes))
 
 

@@ -57,6 +57,18 @@ class SearchError(EMAPError):
     """The cloud cross-correlation search failed."""
 
 
+class CloudUnavailableError(SearchError):
+    """The cloud endpoint could not be reached (outage, open breaker)."""
+
+
+class PayloadError(SearchError):
+    """A search-result payload arrived dropped, truncated, or corrupted."""
+
+
+class FaultPlanError(EMAPError):
+    """A fault-injection plan is malformed or internally inconsistent."""
+
+
 class TrackingError(EMAPError):
     """The edge signal-tracking stage failed."""
 

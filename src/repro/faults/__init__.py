@@ -1,0 +1,24 @@
+"""Seeded, deterministic fault injection for chaos runs.
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`/:class:`FaultWindow`:
+  a replayable schedule of cloud outages, latency spikes, dropped and
+  corrupted result payloads, and transient search errors, keyed by
+  cloud-call index and generated from a ``numpy.random.Generator``
+  seed.
+* :mod:`repro.faults.injector` — :class:`FaultInjector`: a chaos
+  proxy that applies a plan in front of any ``handle_frame`` server.
+
+The resilient counterpart — deadlines, retries, the circuit breaker —
+lives in :mod:`repro.cloud.client`; the chaos suite
+(``tests/test_faults_chaos.py``, ``-m chaos``) drives both.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind, FaultPlan, FaultWindow
+
+__all__ = [
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultWindow",
+]

@@ -1,0 +1,195 @@
+"""Deterministic fault plans for chaos runs.
+
+A :class:`FaultPlan` describes *when* the cloud misbehaves and *how*,
+as a set of :class:`FaultWindow` entries keyed by **cloud-call index**
+(the N-th ``handle_frame`` the session issues).  Call indices — not
+wall-clock — are the replayable coordinate: both runtime loops issue
+calls at deterministic points of the simulated timeline, so a plan
+replays bit-identically regardless of host speed.
+
+Five fault classes cover the failure surface an edge-cloud anomaly
+system is evaluated under (arXiv:2401.07717, arXiv:2411.02868):
+
+* ``OUTAGE`` — the endpoint is unreachable; the call raises
+  :class:`~repro.errors.CloudUnavailableError`.
+* ``LATENCY_SPIKE`` — the call succeeds but every phase of the Eq. 4
+  breakdown is scaled by ``magnitude`` (the paper's budgets are ~1 ms
+  upload / ~200 ms download; a 50× spike blows the client deadline).
+* ``DROP_RESULT`` — the search ran but the result payload is lost in
+  transit: matches arrive empty while the search statistics still
+  report admitted candidates.
+* ``CORRUPT_RESULT`` — match offsets are scrambled past the end of
+  their slices (bit corruption the client detects by bounds-checking).
+* ``TRANSIENT_ERROR`` — the search itself fails once with a
+  :class:`~repro.errors.SearchError` (e.g. a crashed worker).
+
+Plans are generated from a :class:`numpy.random.Generator` seed, so a
+chaos run is a pure function of ``(recording, plan)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.errors import FaultPlanError
+
+
+class FaultKind(Enum):
+    """The injectable failure classes."""
+
+    OUTAGE = "outage"
+    LATENCY_SPIKE = "latency_spike"
+    DROP_RESULT = "drop_result"
+    CORRUPT_RESULT = "corrupt_result"
+    TRANSIENT_ERROR = "transient_error"
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """One fault active over an inclusive range of cloud-call indices."""
+
+    kind: FaultKind
+    first_call: int
+    last_call: int
+    #: Latency multiplier for ``LATENCY_SPIKE``; fraction of matches
+    #: corrupted for ``CORRUPT_RESULT``; ignored by the other kinds.
+    magnitude: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.first_call < 0:
+            raise FaultPlanError(
+                f"fault window must start at call >= 0, got {self.first_call}"
+            )
+        if self.last_call < self.first_call:
+            raise FaultPlanError(
+                f"fault window ends ({self.last_call}) before it starts "
+                f"({self.first_call})"
+            )
+        if self.magnitude <= 0:
+            raise FaultPlanError(
+                f"fault magnitude must be positive, got {self.magnitude}"
+            )
+        if self.kind is FaultKind.CORRUPT_RESULT and self.magnitude > 1.0:
+            raise FaultPlanError(
+                "corruption magnitude is a fraction of matches, must be "
+                f"<= 1, got {self.magnitude}"
+            )
+
+    def covers(self, call_index: int) -> bool:
+        """Whether this window is active for the given call."""
+        return self.first_call <= call_index <= self.last_call
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A replayable chaos schedule: fault windows + the injector seed.
+
+    ``seed`` feeds the injector's own :class:`numpy.random.Generator`
+    (used to pick which matches a ``CORRUPT_RESULT`` window scrambles),
+    so two injectors built from equal plans corrupt identically.
+    """
+
+    windows: tuple[FaultWindow, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.seed < 0:
+            raise FaultPlanError(f"plan seed must be non-negative, got {self.seed}")
+
+    def __len__(self) -> int:
+        return len(self.windows)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the plan injects anything at all."""
+        return bool(self.windows)
+
+    def active(self, call_index: int) -> tuple[FaultWindow, ...]:
+        """All windows covering the given cloud-call index."""
+        if call_index < 0:
+            raise FaultPlanError(
+                f"call index must be non-negative, got {call_index}"
+            )
+        return tuple(w for w in self.windows if w.covers(call_index))
+
+    def last_faulty_call(self) -> int:
+        """The highest call index any window covers (-1 for an empty plan)."""
+        if not self.windows:
+            return -1
+        return max(w.last_call for w in self.windows)
+
+    # -- convenience builders -----------------------------------------
+
+    @classmethod
+    def single(
+        cls,
+        kind: FaultKind,
+        first_call: int,
+        last_call: int | None = None,
+        magnitude: float = 1.0,
+        seed: int = 0,
+    ) -> FaultPlan:
+        """A plan with one window (``last_call`` defaults to ``first_call``)."""
+        window = FaultWindow(
+            kind=kind,
+            first_call=first_call,
+            last_call=first_call if last_call is None else last_call,
+            magnitude=magnitude,
+        )
+        return cls(windows=(window,), seed=seed)
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        horizon_calls: int,
+        fault_rate: float = 0.2,
+        kinds: tuple[FaultKind, ...] = tuple(FaultKind),
+        max_window_calls: int = 4,
+        latency_magnitude: float = 50.0,
+    ) -> FaultPlan:
+        """Draw a random plan from a seeded generator.
+
+        ``fault_rate`` is the expected fraction of the call horizon
+        covered by fault windows; window starts are uniform over the
+        horizon and lengths geometric with mean ``max_window_calls / 2``
+        (clamped to ``max_window_calls``).  Equal arguments produce an
+        equal plan, bit for bit.
+        """
+        if horizon_calls < 1:
+            raise FaultPlanError(
+                f"call horizon must be >= 1, got {horizon_calls}"
+            )
+        if not (0.0 <= fault_rate <= 1.0):
+            raise FaultPlanError(
+                f"fault rate must be in [0, 1], got {fault_rate}"
+            )
+        if not kinds:
+            raise FaultPlanError("need at least one fault kind to generate")
+        if max_window_calls < 1:
+            raise FaultPlanError(
+                f"max window length must be >= 1, got {max_window_calls}"
+            )
+        rng = np.random.default_rng(seed)
+        mean_window = max(1.0, max_window_calls / 2.0)
+        n_windows = int(round(fault_rate * horizon_calls / mean_window))
+        windows: list[FaultWindow] = []
+        for _ in range(n_windows):
+            kind = kinds[int(rng.integers(len(kinds)))]
+            first = int(rng.integers(horizon_calls))
+            length = min(int(rng.geometric(1.0 / mean_window)), max_window_calls)
+            last = min(first + length - 1, horizon_calls - 1)
+            magnitude = 1.0
+            if kind is FaultKind.LATENCY_SPIKE:
+                magnitude = latency_magnitude * float(rng.uniform(0.5, 1.5))
+            elif kind is FaultKind.CORRUPT_RESULT:
+                magnitude = float(rng.uniform(0.25, 1.0))
+            windows.append(
+                FaultWindow(
+                    kind=kind, first_call=first, last_call=last, magnitude=magnitude
+                )
+            )
+        return cls(windows=tuple(windows), seed=seed)

@@ -25,6 +25,11 @@ class EventKind(Enum):
     DOWNLOAD = "download"
     TRACK = "track"
     CLOUD_CALL = "cloud_call"
+    CLOUD_FAIL = "cloud_fail"
+    CLOUD_RETRY = "cloud_retry"
+    BREAKER_OPEN = "breaker_open"
+    BREAKER_HALF_OPEN = "breaker_half_open"
+    BREAKER_CLOSE = "breaker_close"
     SET_REFRESH = "set_refresh"
     PREDICTION = "prediction"
 

@@ -8,10 +8,21 @@ simulated one-second timeline:
    the search is in flight are not tracked, exactly as in Fig. 9;
 2. every subsequent frame drives one Algorithm 2 tracking iteration,
    producing an anomaly-probability observation;
-3. when the call policy fires (N(F) < H, or the five-iteration
-   refresh), the current frame is transmitted *in the background*:
-   tracking continues on the old set and the fresh set is adopted at
-   the simulated instant the download completes.
+3. when the call policy fires (N(F) < H, an emptied tracked set, or
+   the five-iteration refresh), the current frame is transmitted *in
+   the background*: tracking continues on the old set and the fresh
+   set is adopted at the simulated instant the download completes.
+
+Every cloud call goes through a
+:class:`~repro.cloud.client.ResilientCloudClient` (deadline, seeded
+retries, circuit breaker).  When a call fails — outage, timeout,
+dropped/corrupt payload, open breaker — the loop **degrades** instead
+of raising: it keeps tracking the stale candidate set, marks the PA
+observations recorded meanwhile as stale
+(:attr:`MonitoringResult.stale_series`), and re-dispatches per policy
+on subsequent frames; the breaker turns a hard outage into cheap
+fast-fails until its cooldown half-opens it.  With a healthy cloud the
+resilient path is bit-identical to a direct call.
 """
 
 from __future__ import annotations
@@ -20,17 +31,30 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro import obs
+from repro.cloud.client import (
+    BreakerState,
+    CloudCallOutcome,
+    CloudEndpoint,
+    ResilienceConfig,
+    ResilientCloudClient,
+)
 from repro.edge.device import CloudCallPolicy, EdgeDevice
 from repro.errors import FrameworkError
 
 if TYPE_CHECKING:  # avoid a circular import with repro.cloud.server
     from repro.cloud.results import SearchResult
-    from repro.cloud.server import CloudServer
 from repro.edge.predictor import PredictorConfig
 from repro.edge.tracker import TrackerConfig
 from repro.runtime.clock import SimulationClock
 from repro.runtime.events import EventKind, EventLog
 from repro.signals.types import Frame, Signal
+
+#: Breaker transitions → the event kinds the timeline records.
+_BREAKER_EVENTS = {
+    BreakerState.OPEN: EventKind.BREAKER_OPEN,
+    BreakerState.HALF_OPEN: EventKind.BREAKER_HALF_OPEN,
+    BreakerState.CLOSED: EventKind.BREAKER_CLOSE,
+}
 
 
 @dataclass(frozen=True)
@@ -40,6 +64,7 @@ class FrameworkConfig:
     tracker: TrackerConfig = field(default_factory=TrackerConfig)
     predictor: PredictorConfig = field(default_factory=PredictorConfig)
     policy: CloudCallPolicy = field(default_factory=CloudCallPolicy)
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
     tick_s: float = 1.0
     max_iterations: int | None = None
 
@@ -63,6 +88,15 @@ class MonitoringResult:
     initial_latency_s: float = 0.0
     iterations: int = 0
     deadline_misses: int = 0
+    #: Cloud calls that failed after retries (or fast-failed on an
+    #: open breaker) — the session degraded instead of raising.
+    cloud_failures: int = 0
+    #: Tracking iterations executed while the last cloud call had
+    #: failed and no fresh set had been adopted yet.
+    degraded_iterations: int = 0
+    #: Per-iteration staleness flag, aligned with ``pa_series``: True
+    #: when that PA observation was computed in degraded mode.
+    stale_series: list[bool] = field(default_factory=list)
     events: EventLog = field(default_factory=EventLog)
 
     @property
@@ -92,7 +126,7 @@ class EMAPFramework:
 
     def __init__(
         self,
-        cloud: CloudServer,
+        cloud: CloudEndpoint,
         config: FrameworkConfig | None = None,
     ) -> None:
         self.cloud = cloud
@@ -107,6 +141,8 @@ class EMAPFramework:
             registry.inc("runtime.sessions")
             registry.inc("runtime.loop.iterations", result.iterations)
             registry.inc("runtime.loop.deadline_misses", result.deadline_misses)
+            registry.inc("runtime.degraded_iterations", result.degraded_iterations)
+            registry.inc("runtime.cloud_failures", result.cloud_failures)
             registry.observe("runtime.initial_latency_s", result.initial_latency_s)
         return result
 
@@ -118,9 +154,11 @@ class EMAPFramework:
             policy=self.config.policy,
         )
         clock = SimulationClock()
+        client = ResilientCloudClient(self.cloud, self.config.resilience)
         result = MonitoringResult()
         log = result.events
         pending: _PendingSearch | None = None
+        degraded = False
 
         first_frame = edge.acquire()
         if first_frame is None:
@@ -129,8 +167,8 @@ class EMAPFramework:
             )
         clock.advance(self.config.tick_s)  # sampling window t0
         log.record(clock.now_s, EventKind.SAMPLE, frame=first_frame.index)
-        pending = self._dispatch(edge, first_frame, clock.now_s, log, result)
-        result.initial_latency_s = pending.ready_at_s - clock.now_s
+        pending = self._dispatch(client, edge, first_frame, clock.now_s, log, result)
+        degraded = pending is None
 
         while True:
             if (
@@ -152,20 +190,29 @@ class EMAPFramework:
                     matches=len(pending.result.matches),
                 )
                 pending = None
+                degraded = False
 
             if edge.tracker.tracked_count == 0:
-                # Nothing to track: either the initial search is still
-                # in flight, or the whole set was pruned — make sure a
-                # replacement search is on its way.
+                # Nothing to track: the initial search is still in
+                # flight, the whole set was pruned, or the cloud is
+                # failing — make sure a replacement search is on its
+                # way (the breaker keeps retries cheap during outages).
                 if pending is None:
                     log.record(clock.now_s, EventKind.CLOUD_CALL, tracked=0)
-                    pending = self._dispatch(edge, frame, clock.now_s, log, result)
+                    pending = self._dispatch(
+                        client, edge, frame, clock.now_s, log, result
+                    )
+                    if pending is None:
+                        degraded = True
                 continue
 
             step = edge.track(frame)
             result.iterations += 1
             result.pa_series.append(step.anomaly_probability)
             result.tracked_counts.append(step.tracked_after)
+            result.stale_series.append(degraded)
+            if degraded:
+                result.degraded_iterations += 1
             self._check_loop_budget(step.area_evaluations, result)
             prediction = edge.predict()
             result.predictions.append(prediction)
@@ -176,16 +223,26 @@ class EMAPFramework:
                 tracked=step.tracked_after,
                 removed=step.removed,
                 pa=round(step.anomaly_probability, 4),
+                stale=degraded,
             )
             log.record(clock.now_s, EventKind.PREDICTION, anomaly=prediction)
 
-            if pending is None and edge.wants_cloud_call():
+            # An emptied tracked set always warrants a call (there is
+            # nothing left to track), even when ``tracking_threshold``
+            # is 0 — the same semantics the streaming monitor applies.
+            if pending is None and (
+                edge.tracker.tracked_count == 0 or edge.wants_cloud_call()
+            ):
                 log.record(
                     clock.now_s,
                     EventKind.CLOUD_CALL,
                     tracked=edge.tracker.tracked_count,
                 )
-                pending = self._dispatch(edge, frame, clock.now_s, log, result)
+                pending = self._dispatch(
+                    client, edge, frame, clock.now_s, log, result
+                )
+                if pending is None:
+                    degraded = True
 
         return result
 
@@ -210,19 +267,33 @@ class EMAPFramework:
 
     def _dispatch(
         self,
+        client: ResilientCloudClient,
         edge: EdgeDevice,
         frame: Frame,
         now_s: float,
         log: EventLog,
         result: MonitoringResult,
-    ) -> _PendingSearch:
-        """Send a frame to the cloud; returns the in-flight search."""
+    ) -> _PendingSearch | None:
+        """Send a frame through the resilient client.
+
+        Returns the in-flight search on success, or ``None`` when the
+        call failed after retries (or fast-failed on an open breaker)
+        — the caller then continues on the stale set in degraded mode.
+        """
+        outcome = client.call(frame, now_s=now_s)
+        self._log_call_outcome(outcome, now_s, log)
+        if not outcome.ok:
+            result.cloud_failures += 1
+            return None
+        search_result, breakdown = outcome.result, outcome.breakdown
+        if search_result is None or breakdown is None:
+            raise FrameworkError("successful cloud call carried no payload")
         edge.request_cloud_call()
         result.cloud_calls += 1
-        search_result, breakdown = self.cloud.handle_frame(frame)
-        log.record(now_s, EventKind.UPLOAD, seconds=round(breakdown.upload_s, 6))
-        log.record(now_s + breakdown.upload_s, EventKind.SEARCH_START)
-        done = now_s + breakdown.upload_s + breakdown.search_s
+        start = now_s + outcome.penalty_s
+        log.record(start, EventKind.UPLOAD, seconds=round(breakdown.upload_s, 6))
+        log.record(start + breakdown.upload_s, EventKind.SEARCH_START)
+        done = start + breakdown.upload_s + breakdown.search_s
         log.record(
             done,
             EventKind.SEARCH_DONE,
@@ -231,4 +302,24 @@ class EMAPFramework:
         )
         ready = done + breakdown.download_s
         log.record(ready, EventKind.DOWNLOAD, seconds=round(breakdown.download_s, 6))
+        if result.cloud_calls == 1:
+            # Δinitial: latency of the session's first successful call.
+            result.initial_latency_s = ready - now_s
         return _PendingSearch(result=search_result, ready_at_s=ready)
+
+    @staticmethod
+    def _log_call_outcome(
+        outcome: CloudCallOutcome, now_s: float, log: EventLog
+    ) -> None:
+        """Record retries, failures and breaker transitions."""
+        for state in outcome.transitions:
+            log.record(now_s, _BREAKER_EVENTS[state])
+        if outcome.retries:
+            log.record(now_s, EventKind.CLOUD_RETRY, retries=outcome.retries)
+        if not outcome.ok:
+            log.record(
+                now_s,
+                EventKind.CLOUD_FAIL,
+                reason=outcome.failure or "unknown",
+                attempts=outcome.attempts,
+            )

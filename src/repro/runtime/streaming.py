@@ -7,6 +7,14 @@ chunks as the amplifier delivers them, and the monitor emits one
 :class:`MonitorUpdate` per completed one-second frame — with the same
 acquisition → search → tracking → prediction semantics as the batch
 framework (the test suite asserts trace equivalence).
+
+Cloud calls go through the same
+:class:`~repro.cloud.client.ResilientCloudClient` as the batch loop:
+a failed call (outage, timeout, dropped/corrupt payload, open breaker)
+puts the monitor in **degraded mode** — it keeps tracking the stale
+candidate set, flags each update's PA observation as stale
+(:attr:`MonitorUpdate.degraded`), and re-dispatches per policy on
+subsequent frames until a fresh set is adopted.
 """
 
 from __future__ import annotations
@@ -17,11 +25,13 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro import obs
+from repro.cloud.client import ResilienceConfig, ResilientCloudClient
 from repro.edge.device import CloudCallPolicy
 from repro.errors import FrameworkError, SignalError
 
 if TYPE_CHECKING:  # avoid a circular import with repro.cloud.server
-    from repro.cloud.server import CloudServer
+    from repro.cloud.client import CloudEndpoint
+    from repro.cloud.results import SearchResult
 from repro.edge.predictor import AnomalyPredictor, PredictorConfig
 from repro.edge.tracker import SignalTracker, TrackerConfig
 from repro.signals.filters import FilterSpec, StreamingFIRFilter
@@ -38,6 +48,14 @@ class MonitorUpdate:
     tracked_count: int
     anomaly_predicted: bool
     cloud_call_issued: bool
+    #: Whether a tracking iteration actually ran this frame (False
+    #: while the initial search is in flight or the set is empty).
+    tracking_active: bool = False
+    #: True when this frame ran in degraded mode: the last cloud call
+    #: failed and the tracked set (and its PA observation) is stale.
+    degraded: bool = False
+    #: True when this frame's cloud call failed after retries.
+    cloud_call_failed: bool = False
 
 
 @dataclass
@@ -47,6 +65,7 @@ class StreamingConfig:
     tracker: TrackerConfig = field(default_factory=TrackerConfig)
     predictor: PredictorConfig = field(default_factory=PredictorConfig)
     policy: CloudCallPolicy = field(default_factory=CloudCallPolicy)
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
     filter_spec: FilterSpec = field(default_factory=FilterSpec)
     frame_samples: int = FRAME_SAMPLES
     #: Simulated cloud round-trip in whole frames: a search issued at
@@ -68,18 +87,22 @@ class StreamingMonitor:
     """Push-based EMAP session over a live sample stream."""
 
     def __init__(
-        self, cloud: CloudServer, config: StreamingConfig | None = None
+        self, cloud: CloudEndpoint, config: StreamingConfig | None = None
     ) -> None:
         self.cloud = cloud
         self.config = config or StreamingConfig()
+        self._client = ResilientCloudClient(cloud, self.config.resilience)
         self._filter = StreamingFIRFilter(self.config.filter_spec)
         self._tracker = SignalTracker(self.config.tracker)
         self._predictor = AnomalyPredictor(self.config.predictor)
         self._buffer = np.empty(0)
         self._frame_index = 0
         self._iterations_since_refresh = 0
-        self._pending: tuple[int, object] | None = None  # (ready_frame, result)
+        self._pending: tuple[int, SearchResult] | None = None  # (ready_frame, result)
+        self._degraded = False
         self.cloud_calls = 0
+        self.cloud_failures = 0
+        self.degraded_frames = 0
         self.updates: list[MonitorUpdate] = []
 
     @property
@@ -133,15 +156,21 @@ class StreamingMonitor:
             expected_samples=self.config.frame_samples,
         )
         self._frame_index += 1
+        time_s = (frame.index + 1) * self.config.frame_samples / BASE_SAMPLE_RATE_HZ
 
         # Adopt a finished background search.
         if self._pending is not None and frame.index >= self._pending[0]:
             self._tracker.load(self._pending[1])
             self._iterations_since_refresh = 0
             self._pending = None
+            self._degraded = False
 
-        issued = False
-        if self._tracker.tracked_count > 0:
+        # Snapshot the degraded flag the frame's PA observation runs
+        # under; a call failure later this frame degrades *subsequent*
+        # frames (mirrors the batch loop's stale_series semantics).
+        was_degraded = self._degraded
+        stepped = self._tracker.tracked_count > 0
+        if stepped:
             step = self._tracker.step(frame)
             self._predictor.observe(
                 step.anomaly_probability, support=step.tracked_after
@@ -149,10 +178,21 @@ class StreamingMonitor:
             self._iterations_since_refresh += 1
             probability = step.anomaly_probability
             tracked = step.tracked_after
+            # The predictor runs on every tracking iteration, exactly
+            # like the batch loop — even when the step emptied the set
+            # (the EMA/trend may still flag an anomaly).
+            predicted = self._predictor.predict()
         else:
             probability = 0.0
             tracked = 0
+            predicted = False
 
+        if was_degraded:
+            self.degraded_frames += 1
+            obs.metrics().inc("runtime.degraded_iterations")
+
+        issued = False
+        failed = False
         wants_call = self._pending is None and (
             tracked == 0
             or self.config.policy.should_call(
@@ -160,21 +200,39 @@ class StreamingMonitor:
             )
         )
         if wants_call:
-            result, _breakdown = self.cloud.handle_frame(frame)
-            ready = frame.index + 1 + self.config.cloud_latency_frames
-            self._pending = (ready, result)
-            self._iterations_since_refresh = 0
-            self.cloud_calls += 1
-            issued = True
-            obs.metrics().inc("edge.device.cloud_calls")
+            outcome = self._client.call(frame, now_s=time_s)
+            if outcome.ok and outcome.result is not None:
+                # Each retry defers adoption by one extra frame: the
+                # re-attempts consumed (simulated) live air time.
+                ready = (
+                    frame.index
+                    + 1
+                    + self.config.cloud_latency_frames
+                    + outcome.retries
+                )
+                self._pending = (ready, outcome.result)
+                self._iterations_since_refresh = 0
+                self.cloud_calls += 1
+                issued = True
+                obs.metrics().inc("edge.device.cloud_calls")
+            else:
+                # Degrade: keep the stale set, leave the refresh
+                # counter running so the policy re-fires next frame
+                # (the breaker keeps a hard outage cheap).
+                failed = True
+                self.cloud_failures += 1
+                self._degraded = True
 
         return MonitorUpdate(
             frame_index=frame.index,
-            time_s=(frame.index + 1) * self.config.frame_samples / BASE_SAMPLE_RATE_HZ,
+            time_s=time_s,
             anomaly_probability=probability,
             tracked_count=tracked,
-            anomaly_predicted=self._predictor.predict() if tracked > 0 else False,
+            anomaly_predicted=predicted,
             cloud_call_issued=issued,
+            tracking_active=stepped,
+            degraded=was_degraded,
+            cloud_call_failed=failed,
         )
 
     def reset(self) -> None:
@@ -182,9 +240,13 @@ class StreamingMonitor:
         self._filter.reset()
         self._tracker = SignalTracker(self.config.tracker)
         self._predictor = AnomalyPredictor(self.config.predictor)
+        self._client.reset()
         self._buffer = np.empty(0)
         self._frame_index = 0
         self._iterations_since_refresh = 0
         self._pending = None
+        self._degraded = False
         self.cloud_calls = 0
+        self.cloud_failures = 0
+        self.degraded_frames = 0
         self.updates = []

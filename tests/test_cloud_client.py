@@ -1,0 +1,274 @@
+"""Unit tests for the resilient cloud-call path (client + breaker)."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.client import (
+    BreakerState,
+    ResilienceConfig,
+    ResilientCloudClient,
+    validate_payload,
+)
+from repro.cloud.results import SearchMatch, SearchResult
+from repro.errors import (
+    CloudUnavailableError,
+    FrameworkError,
+    PayloadError,
+    SearchError,
+)
+from repro.runtime.timing import TimingBreakdown, TimingModel
+from repro.signals.types import FRAME_SAMPLES, AnomalyType, SignalSlice
+
+FRAME = np.zeros(FRAME_SAMPLES)
+
+
+def good_result(n_matches: int = 3) -> SearchResult:
+    sig_slice = SignalSlice(data=np.zeros(1000), label=AnomalyType.NONE)
+    matches = [
+        SearchMatch(sig_slice=sig_slice, omega=0.9, offset=i * 4)
+        for i in range(n_matches)
+    ]
+    return SearchResult(
+        matches=matches,
+        correlations_evaluated=100,
+        slices_searched=10,
+        candidates_above_threshold=n_matches,
+        heap_admissions=n_matches,
+    )
+
+
+def dropped_result() -> SearchResult:
+    result = good_result()
+    return SearchResult(
+        matches=[],
+        correlations_evaluated=result.correlations_evaluated,
+        slices_searched=result.slices_searched,
+        candidates_above_threshold=result.candidates_above_threshold,
+    )
+
+
+def corrupt_result() -> SearchResult:
+    sig_slice = SignalSlice(data=np.zeros(1000), label=AnomalyType.NONE)
+    return SearchResult(
+        matches=[SearchMatch(sig_slice=sig_slice, omega=0.9, offset=2000)],
+        correlations_evaluated=100,
+        slices_searched=10,
+        candidates_above_threshold=1,
+    )
+
+
+FAST = TimingBreakdown(upload_s=0.001, search_s=0.1, download_s=0.05)
+SLOW = TimingBreakdown(upload_s=0.05, search_s=100.0, download_s=10.0)
+
+
+class ScriptedEndpoint:
+    """Serves scripted behaviours in order; 'ok' forever once exhausted."""
+
+    def __init__(self, script=()):
+        self.script = list(script)
+        self.calls = 0
+        self.timing = TimingModel()
+
+    def handle_frame(self, frame):
+        self.calls += 1
+        action = self.script.pop(0) if self.script else "ok"
+        if action == "ok":
+            return good_result(), FAST
+        if action == "slow":
+            return good_result(), SLOW
+        if action == "dropped":
+            return dropped_result(), FAST
+        if action == "corrupt":
+            return corrupt_result(), FAST
+        if action == "outage":
+            raise CloudUnavailableError("injected outage")
+        if action == "error":
+            raise SearchError("injected error")
+        raise AssertionError(f"unknown script action {action}")
+
+
+class TestValidatePayload:
+    def test_accepts_good_payload(self):
+        validate_payload(good_result(), FRAME_SAMPLES)
+
+    def test_accepts_legitimately_empty_result(self):
+        empty = SearchResult(correlations_evaluated=50, slices_searched=5)
+        validate_payload(empty, FRAME_SAMPLES)
+
+    def test_rejects_dropped_payload(self):
+        with pytest.raises(PayloadError, match="dropped"):
+            validate_payload(dropped_result(), FRAME_SAMPLES)
+
+    def test_rejects_out_of_bounds_offset(self):
+        with pytest.raises(PayloadError, match="corrupt"):
+            validate_payload(corrupt_result(), FRAME_SAMPLES)
+
+
+class TestResilienceConfig:
+    def test_validation(self):
+        with pytest.raises(FrameworkError):
+            ResilienceConfig(deadline_s=0.0)
+        with pytest.raises(FrameworkError):
+            ResilienceConfig(max_retries=-1)
+        with pytest.raises(FrameworkError):
+            ResilienceConfig(backoff_factor=0.5)
+        with pytest.raises(FrameworkError):
+            ResilienceConfig(breaker_failure_threshold=0)
+        with pytest.raises(FrameworkError):
+            ResilienceConfig(breaker_cooldown_s=-1.0)
+
+
+class TestResilientCall:
+    def test_clean_call_has_no_penalty(self):
+        client = ResilientCloudClient(ScriptedEndpoint())
+        outcome = client.call(FRAME, now_s=1.0)
+        assert outcome.ok
+        assert outcome.attempts == 1
+        assert outcome.retries == 0
+        assert outcome.penalty_s == 0.0
+        assert outcome.failure is None
+        assert outcome.breaker_state is BreakerState.CLOSED
+
+    def test_retry_then_success(self):
+        endpoint = ScriptedEndpoint(["outage", "ok"])
+        client = ResilientCloudClient(endpoint)
+        outcome = client.call(FRAME, now_s=1.0)
+        assert outcome.ok
+        assert outcome.attempts == 2
+        assert outcome.retries == 1
+        assert outcome.penalty_s > 0.0  # one backoff
+        assert client.retries_total == 1
+
+    def test_exhausted_retries_fail(self):
+        endpoint = ScriptedEndpoint(["outage"] * 10)
+        client = ResilientCloudClient(endpoint, ResilienceConfig(max_retries=2))
+        outcome = client.call(FRAME, now_s=1.0)
+        assert not outcome.ok
+        assert outcome.attempts == 3
+        assert outcome.failure == "unreachable"
+        assert endpoint.calls == 3
+
+    def test_deadline_counts_timeout(self):
+        endpoint = ScriptedEndpoint(["slow", "ok"])
+        client = ResilientCloudClient(endpoint, ResilienceConfig(deadline_s=5.0))
+        outcome = client.call(FRAME, now_s=1.0)
+        assert outcome.ok
+        assert outcome.retries == 1
+        # The failed attempt burned the full deadline plus one backoff.
+        assert outcome.penalty_s > 5.0
+        assert client.timeouts_total == 1
+
+    def test_dropped_and_corrupt_payloads_fail_the_attempt(self):
+        for action in ("dropped", "corrupt"):
+            endpoint = ScriptedEndpoint([action, "ok"])
+            client = ResilientCloudClient(endpoint)
+            outcome = client.call(FRAME, now_s=1.0)
+            assert outcome.ok
+            assert outcome.retries == 1
+
+    def test_payload_validation_can_be_disabled(self):
+        endpoint = ScriptedEndpoint(["dropped"])
+        client = ResilientCloudClient(
+            endpoint, ResilienceConfig(validate_payloads=False)
+        )
+        outcome = client.call(FRAME, now_s=1.0)
+        assert outcome.ok
+        assert outcome.result.matches == []
+
+    def test_backoff_is_deterministic_per_seed(self):
+        penalties = []
+        for _ in range(2):
+            endpoint = ScriptedEndpoint(["error", "error", "ok"])
+            client = ResilientCloudClient(endpoint, ResilienceConfig(seed=5))
+            penalties.append(client.call(FRAME, now_s=1.0).penalty_s)
+        assert penalties[0] == penalties[1]
+        other = ResilientCloudClient(
+            ScriptedEndpoint(["error", "error", "ok"]), ResilienceConfig(seed=6)
+        )
+        assert other.call(FRAME, now_s=1.0).penalty_s != penalties[0]
+
+
+def failing_config(**overrides):
+    defaults = dict(
+        max_retries=0, breaker_failure_threshold=2, breaker_cooldown_s=10.0
+    )
+    defaults.update(overrides)
+    return ResilienceConfig(**defaults)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_consecutive_failures(self):
+        endpoint = ScriptedEndpoint(["outage"] * 10)
+        client = ResilientCloudClient(endpoint, failing_config())
+        assert not client.call(FRAME, now_s=0.0).ok
+        assert client.breaker_state is BreakerState.CLOSED
+        outcome = client.call(FRAME, now_s=1.0)
+        assert client.breaker_state is BreakerState.OPEN
+        assert BreakerState.OPEN in outcome.transitions
+
+    def test_open_breaker_fast_fails_without_attempting(self):
+        endpoint = ScriptedEndpoint(["outage"] * 10)
+        client = ResilientCloudClient(endpoint, failing_config())
+        client.call(FRAME, now_s=0.0)
+        client.call(FRAME, now_s=1.0)  # opens
+        calls_before = endpoint.calls
+        outcome = client.call(FRAME, now_s=2.0)
+        assert not outcome.ok
+        assert outcome.failure == "breaker_open"
+        assert outcome.attempts == 0
+        assert endpoint.calls == calls_before
+        assert client.fast_failures == 1
+
+    def test_success_resets_consecutive_failures(self):
+        endpoint = ScriptedEndpoint(["outage", "ok", "outage", "outage"])
+        client = ResilientCloudClient(endpoint, failing_config())
+        assert not client.call(FRAME, now_s=0.0).ok
+        assert client.call(FRAME, now_s=1.0).ok
+        assert not client.call(FRAME, now_s=2.0).ok
+        assert client.breaker_state is BreakerState.CLOSED  # count restarted
+        assert not client.call(FRAME, now_s=3.0).ok
+        assert client.breaker_state is BreakerState.OPEN
+
+    def test_half_open_probe_closes_on_success(self):
+        endpoint = ScriptedEndpoint(["outage", "outage", "ok"])
+        client = ResilientCloudClient(endpoint, failing_config())
+        client.call(FRAME, now_s=0.0)
+        client.call(FRAME, now_s=1.0)  # opens at t=1
+        outcome = client.call(FRAME, now_s=12.0)  # cooldown passed
+        assert outcome.ok
+        assert BreakerState.HALF_OPEN in outcome.transitions
+        assert BreakerState.CLOSED in outcome.transitions
+        assert client.breaker_state is BreakerState.CLOSED
+
+    def test_half_open_probe_reopens_on_failure(self):
+        endpoint = ScriptedEndpoint(["outage"] * 10)
+        client = ResilientCloudClient(endpoint, failing_config())
+        client.call(FRAME, now_s=0.0)
+        client.call(FRAME, now_s=1.0)  # opens at t=1
+        outcome = client.call(FRAME, now_s=12.0)  # half-open probe fails
+        assert not outcome.ok
+        assert outcome.attempts == 1  # a probe gets exactly one attempt
+        assert client.breaker_state is BreakerState.OPEN
+        # Cooldown restarts from the re-open instant.
+        assert not client.call(FRAME, now_s=13.0).ok
+        assert client.call(FRAME, now_s=13.0).failure == "breaker_open"
+
+    def test_half_open_probe_is_single_attempt_even_with_retries(self):
+        endpoint = ScriptedEndpoint(["outage"] * 10)
+        client = ResilientCloudClient(
+            endpoint, failing_config(max_retries=3, breaker_failure_threshold=1)
+        )
+        client.call(FRAME, now_s=0.0)  # opens
+        calls_before = endpoint.calls
+        client.call(FRAME, now_s=12.0)  # half-open probe
+        assert endpoint.calls == calls_before + 1
+
+    def test_reset_closes_and_reseeds(self):
+        endpoint = ScriptedEndpoint(["outage", "outage"])
+        client = ResilientCloudClient(endpoint, failing_config())
+        client.call(FRAME, now_s=0.0)
+        client.call(FRAME, now_s=1.0)
+        assert client.breaker_state is BreakerState.OPEN
+        client.reset()
+        assert client.breaker_state is BreakerState.CLOSED
+        assert client.call(FRAME, now_s=2.0).ok

@@ -59,6 +59,24 @@ class TestTheilSen:
         with pytest.raises(TrackingError, match="two values"):
             theil_sen_slope([0.5])
 
+    def test_matches_scalar_reference_exactly(self):
+        """The vectorised implementation must agree bit-for-bit with
+        the original nested-loop pairwise-slope computation."""
+        import numpy as np
+
+        def scalar_theil_sen(values):
+            series = np.asarray(values, dtype=np.float64)
+            slopes = []
+            for i in range(series.size - 1):
+                for j in range(i + 1, series.size):
+                    slopes.append((series[j] - series[i]) / (j - i))
+            return float(np.median(np.asarray(slopes)))
+
+        rng = np.random.default_rng(1729)
+        for length in (2, 3, 5, 8, 20, 51):
+            series = rng.uniform(0.0, 1.0, size=length)
+            assert theil_sen_slope(series) == scalar_theil_sen(series)
+
 
 class TestAnomalyPredictor:
     def test_flat_low_pa_not_flagged(self):

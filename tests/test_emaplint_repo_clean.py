@@ -29,6 +29,11 @@ SUPPRESSION_ALLOWLIST = {
     ("src/repro/cloud/plane.py", "EM006"),
 }
 
+#: Trees where EM006 (silent broad excepts) may NEVER be suppressed,
+#: not even via the allowlist: the fault-handling code is exactly
+#: where a swallowed exception would hide a resilience bug.
+EM006_NEVER_SUPPRESS = ("src/repro/faults/", "src/repro/cloud/client.py")
+
 
 def _relative(path: str) -> str:
     return Path(path).resolve().relative_to(REPO_ROOT).as_posix()
@@ -52,3 +57,24 @@ def test_suppressions_are_allowlisted():
     assert not rogue, f"unreviewed emaplint suppressions: {sorted(rogue)}"
     stale = SUPPRESSION_ALLOWLIST - used
     assert not stale, f"allowlisted suppressions no longer used: {sorted(stale)}"
+
+
+def test_fault_handling_code_never_suppresses_em006():
+    """The resilient-call path and the fault injector catch exceptions
+    for a living; a suppressed EM006 there would let a broad except
+    silently swallow the very failures the subsystem must surface."""
+    for path, rule_id in SUPPRESSION_ALLOWLIST:
+        if rule_id != "EM006":
+            continue
+        for banned in EM006_NEVER_SUPPRESS:
+            assert not path.startswith(banned), (
+                f"EM006 may not be allowlisted under {banned}: {path}"
+            )
+    result = LintEngine().lint_paths([REPO_ROOT / "src"])
+    rogue = [
+        (_relative(s.path), s.rule_id)
+        for s in result.suppressed
+        if s.rule_id == "EM006"
+        and any(_relative(s.path).startswith(p) for p in EM006_NEVER_SUPPRESS)
+    ]
+    assert not rogue, f"EM006 suppressed in fault-handling code: {rogue}"

@@ -1,0 +1,177 @@
+"""Unit tests for the fault-injection subsystem (plans + injector)."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.server import CloudServer
+from repro.errors import CloudUnavailableError, FaultPlanError, SearchError
+from repro.faults import FaultInjector, FaultKind, FaultPlan, FaultWindow
+from repro.runtime.timing import TimingBreakdown
+from repro.signals.generator import EEGGenerator
+from repro.signals.types import FRAME_SAMPLES
+
+
+def frame_of(seed: int) -> np.ndarray:
+    return EEGGenerator(seed=seed).record(1.0).data[:FRAME_SAMPLES]
+
+
+class TestFaultWindow:
+    def test_covers_inclusive_range(self):
+        window = FaultWindow(FaultKind.OUTAGE, first_call=2, last_call=4)
+        assert not window.covers(1)
+        assert window.covers(2)
+        assert window.covers(4)
+        assert not window.covers(5)
+
+    def test_validation(self):
+        with pytest.raises(FaultPlanError):
+            FaultWindow(FaultKind.OUTAGE, first_call=-1, last_call=0)
+        with pytest.raises(FaultPlanError):
+            FaultWindow(FaultKind.OUTAGE, first_call=3, last_call=2)
+        with pytest.raises(FaultPlanError):
+            FaultWindow(FaultKind.LATENCY_SPIKE, first_call=0, last_call=0, magnitude=0.0)
+        with pytest.raises(FaultPlanError):
+            FaultWindow(FaultKind.CORRUPT_RESULT, first_call=0, last_call=0, magnitude=1.5)
+
+
+class TestFaultPlan:
+    def test_empty_plan_is_disabled(self):
+        plan = FaultPlan()
+        assert not plan.enabled
+        assert plan.active(0) == ()
+        assert plan.last_faulty_call() == -1
+
+    def test_active_windows(self):
+        plan = FaultPlan(
+            windows=(
+                FaultWindow(FaultKind.OUTAGE, 1, 3),
+                FaultWindow(FaultKind.DROP_RESULT, 3, 5),
+            )
+        )
+        assert len(plan.active(0)) == 0
+        assert len(plan.active(3)) == 2
+        assert plan.last_faulty_call() == 5
+
+    def test_single_builder_defaults_last_to_first(self):
+        plan = FaultPlan.single(FaultKind.TRANSIENT_ERROR, first_call=7)
+        assert plan.windows[0].last_call == 7
+
+    def test_generate_is_deterministic(self):
+        a = FaultPlan.generate(seed=42, horizon_calls=100)
+        b = FaultPlan.generate(seed=42, horizon_calls=100)
+        assert a == b
+        assert a.windows  # the default rate over 100 calls injects something
+
+    def test_generate_different_seeds_differ(self):
+        a = FaultPlan.generate(seed=1, horizon_calls=200)
+        b = FaultPlan.generate(seed=2, horizon_calls=200)
+        assert a != b
+
+    def test_generate_windows_inside_horizon(self):
+        plan = FaultPlan.generate(seed=3, horizon_calls=50)
+        for window in plan.windows:
+            assert 0 <= window.first_call <= window.last_call < 50
+
+    def test_generate_validation(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.generate(seed=0, horizon_calls=0)
+        with pytest.raises(FaultPlanError):
+            FaultPlan.generate(seed=0, horizon_calls=10, fault_rate=1.5)
+        with pytest.raises(FaultPlanError):
+            FaultPlan.generate(seed=0, horizon_calls=10, kinds=())
+
+
+@pytest.fixture
+def server(mdb_slices):
+    return CloudServer(mdb_slices)
+
+
+class TestFaultInjector:
+    def test_passthrough_without_plan(self, server):
+        injector = FaultInjector(server)
+        direct_result, direct_breakdown = server.handle_frame(frame_of(0))
+        result, breakdown = injector.handle_frame(frame_of(0))
+        assert [m.omega for m in result.matches] == [
+            m.omega for m in direct_result.matches
+        ]
+        assert breakdown.initial_s == direct_breakdown.initial_s
+        assert injector.injected == 0
+        assert injector.n_slices == server.n_slices
+
+    def test_outage_raises_unavailable(self, server):
+        plan = FaultPlan.single(FaultKind.OUTAGE, first_call=0)
+        injector = FaultInjector(server, plan)
+        with pytest.raises(CloudUnavailableError):
+            injector.handle_frame(frame_of(0))
+        assert injector.injected == 1
+        # The window ends; the next call goes through.
+        result, _ = injector.handle_frame(frame_of(0))
+        assert result.matches
+
+    def test_transient_error_raises_search_error(self, server):
+        plan = FaultPlan.single(FaultKind.TRANSIENT_ERROR, first_call=0)
+        injector = FaultInjector(server, plan)
+        with pytest.raises(SearchError):
+            injector.handle_frame(frame_of(0))
+
+    def test_drop_keeps_statistics(self, server):
+        plan = FaultPlan.single(FaultKind.DROP_RESULT, first_call=0)
+        injector = FaultInjector(server, plan)
+        result, _ = injector.handle_frame(frame_of(0))
+        assert result.matches == []
+        assert result.candidates_above_threshold > 0
+
+    def test_corrupt_pushes_offsets_out_of_bounds(self, server):
+        plan = FaultPlan.single(
+            FaultKind.CORRUPT_RESULT, first_call=0, magnitude=1.0, seed=9
+        )
+        injector = FaultInjector(server, plan)
+        result, _ = injector.handle_frame(frame_of(0))
+        assert result.matches
+        assert all(
+            m.offset + FRAME_SAMPLES > len(m.sig_slice) for m in result.matches
+        )
+
+    def test_corruption_replays_bit_identically(self, server):
+        plan = FaultPlan.single(
+            FaultKind.CORRUPT_RESULT, first_call=0, last_call=3,
+            magnitude=0.5, seed=21,
+        )
+        offsets = []
+        for _ in range(2):
+            injector = FaultInjector(CloudServer(server.plane), plan)
+            run = []
+            for call in range(4):
+                result, _ = injector.handle_frame(frame_of(call))
+                run.append([m.offset for m in result.matches])
+            offsets.append(run)
+        assert offsets[0] == offsets[1]
+
+    def test_latency_spike_scales_breakdown(self, server):
+        plan = FaultPlan.single(
+            FaultKind.LATENCY_SPIKE, first_call=0, magnitude=10.0
+        )
+        injector = FaultInjector(server, plan)
+        clean, clean_breakdown = server.handle_frame(frame_of(0))
+        _, spiked = injector.handle_frame(frame_of(0))
+        assert spiked.upload_s == pytest.approx(clean_breakdown.upload_s * 10.0)
+        assert spiked.download_s == pytest.approx(clean_breakdown.download_s * 10.0)
+        assert isinstance(spiked, TimingBreakdown)
+        assert clean.matches
+
+    def test_injected_metric_counts(self, server):
+        from repro import obs
+
+        obs.reset()
+        obs.enable()
+        try:
+            plan = FaultPlan.single(FaultKind.DROP_RESULT, first_call=0, last_call=1)
+            injector = FaultInjector(server, plan)
+            injector.handle_frame(frame_of(0))
+            injector.handle_frame(frame_of(1))
+            registry = obs.metrics()
+            assert registry.counter_value("faults.injected") == 2
+            assert registry.counter_value("faults.injected.drop_result") == 2
+        finally:
+            obs.disable()
+            obs.reset()

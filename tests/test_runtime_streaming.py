@@ -5,7 +5,9 @@ import pytest
 
 from repro.cloud.server import CloudServer
 from repro.errors import SignalError
+from repro.runtime.framework import EMAPFramework
 from repro.runtime.streaming import StreamingConfig, StreamingMonitor
+from repro.runtime.timing import DeviceCostModel, TimingModel
 from repro.signals.anomalies import AnomalySpec, make_anomalous_signal
 from repro.signals.generator import EEGGenerator
 from repro.signals.types import AnomalyType
@@ -99,3 +101,65 @@ class TestStreamingDetection:
                 )
             traces.append([update.anomaly_probability for update in updates])
         assert traces[0] == traces[1] == traces[2]
+
+
+class TestBatchStreamEquivalence:
+    """Regression for the prediction-trace divergence bug: the batch
+    framework and the streaming monitor must produce identical PA and
+    prediction series on the same recording.
+
+    The streaming monitor used to skip ``predictor.predict()`` (forcing
+    ``anomaly_predicted=False``) whenever a tracking step emptied the
+    set, while the batch loop predicts on every iteration — the two
+    traces diverged exactly when monitoring matters most.
+
+    Alignment recipe: a near-instant cloud (Δinitial < one tick) makes
+    the batch loop adopt the first set at frame 1, which matches the
+    streaming monitor with ``cloud_latency_frames=0``; after that both
+    loops refresh on the same frames.
+    """
+
+    def instant_server(self, mdb_slices) -> CloudServer:
+        timing = TimingModel(
+            costs=DeviceCostModel(cloud_correlations_per_s=1e12)
+        )
+        return CloudServer(mdb_slices, timing=timing)
+
+    def run_both(self, mdb_slices, recording):
+        framework = EMAPFramework(self.instant_server(mdb_slices))
+        batch = framework.run(recording)
+        monitor = StreamingMonitor(
+            self.instant_server(mdb_slices),
+            StreamingConfig(cloud_latency_frames=0),
+        )
+        monitor.push(recording.data)
+        stream = [u for u in monitor.updates if u.tracking_active]
+        return batch, stream
+
+    def test_seizure_traces_identical(self, mdb_slices, seizure_recording):
+        batch, stream = self.run_both(mdb_slices, seizure_recording)
+        assert batch.initial_latency_s < 1.0  # recipe sanity check
+        assert [u.anomaly_probability for u in stream] == batch.pa_series
+        assert [u.tracked_count for u in stream] == batch.tracked_counts
+        assert [u.anomaly_predicted for u in stream] == batch.predictions
+        assert any(batch.predictions)  # the seizure is actually flagged
+
+    def test_normal_traces_identical(self, mdb_slices, normal_recording):
+        batch, stream = self.run_both(mdb_slices, normal_recording)
+        assert [u.anomaly_probability for u in stream] == batch.pa_series
+        assert [u.anomaly_predicted for u in stream] == batch.predictions
+
+    def test_prediction_runs_even_when_step_empties_the_set(self, mdb_slices):
+        """The fixed path: tracked_after == 0 still consults the
+        predictor (EMA / trend may flag an anomaly on an emptied set)."""
+        monitor = StreamingMonitor(CloudServer(mdb_slices))
+        spec = AnomalySpec(kind=AnomalyType.SEIZURE, onset_s=20.0, buildup_s=15.0)
+        patient = make_anomalous_signal(EEGGenerator(seed=8), 30.0, spec)
+        monitor.push(patient.data)
+        emptied = [
+            u
+            for u in monitor.updates
+            if u.tracking_active and u.tracked_count == 0
+        ]
+        # The scenario must occur for this regression test to bite.
+        assert emptied, "no step emptied the set; adjust the scenario"

@@ -7,8 +7,8 @@ This rule is the in-repo, dependency-free enforcement of that contract
 — it runs in environments without mypy and in CI next to it.
 
 Checked: module-level public functions and public methods (plus
-``__init__``/``__call__``/``__new__``) defined in
-``repro/cloud``, ``repro/edge`` and ``repro/runtime``.  Every
+``__init__``/``__call__``/``__new__``) defined in ``repro/cloud``,
+``repro/edge``, ``repro/runtime`` and ``repro/faults``.  Every
 parameter (except ``self``/``cls``) needs an annotation and the
 function needs a return annotation.  Nested helper closures and the
 remaining dunders (``__exit__``, ``__len__``, …) are exempt here —
@@ -35,6 +35,7 @@ class HotPathAnnotations(Rule):
     include_parts = (
         ("repro", "cloud"),
         ("repro", "edge"),
+        ("repro", "faults"),
         ("repro", "runtime"),
     )
 
