@@ -31,6 +31,20 @@ legacy per-request path and the compiled
   Fig. 7(b) speedup ratio this is self-normalising (both arms run on
   the same host), so no baseline hardware match is needed.
 
+**Edge-plane gate** — tracks the same candidate set and frame stream
+through the scalar per-candidate loop, the compiled
+:class:`~repro.edge.plane.TrackingPlane` and the batched
+:class:`~repro.edge.fleet.FleetTracker`
+(``benchmarks/baselines/edge_plane_throughput.json``).  It fails when:
+
+* any arm stops being **bit-identical** to the scalar tracker (areas,
+  offsets, removals or evaluation counts diverge) — never acceptable;
+* ``evaluations_per_frame`` drifts from the baseline (deterministic,
+  so drift is an algorithmic change);
+* the plane speedup falls below the **3x absolute floor** at 100
+  candidates, or the fleet speedup below **2x** — both
+  self-normalising ratios (all arms run on the same host).
+
 Regenerate the baselines after an intentional change with::
 
     python benchmarks/check_regression.py --update
@@ -57,10 +71,17 @@ DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baselines" / "fig7b.json"
 DEFAULT_PLANE_BASELINE = (
     REPO_ROOT / "benchmarks" / "baselines" / "plane_throughput.json"
 )
+DEFAULT_EDGE_PLANE_BASELINE = (
+    REPO_ROOT / "benchmarks" / "baselines" / "edge_plane_throughput.json"
+)
 DEFAULT_METRICS_OUT = REPO_ROOT / "benchmark_reports" / "fig7b_obs_metrics.json"
 DEFAULT_DB_SIZES = (500, 1000, 2000)
 PLANE_SPEEDUP_FLOOR = 3.0
 PLANE_N_QUERIES = 12
+EDGE_PLANE_SPEEDUP_FLOOR = 3.0
+EDGE_FLEET_SPEEDUP_FLOOR = 2.0
+EDGE_PLANE_CANDIDATES = 100
+EDGE_PLANE_N_FRAMES = 12
 
 
 def run_benchmark(mdb_scale: float, seed: int, db_sizes: tuple[int, ...]) -> dict:
@@ -93,6 +114,18 @@ def run_plane_benchmark(mdb_scale: float, seed: int) -> dict:
     fixture = build_fixture(mdb_scale=mdb_scale, seed=seed)
     result = plane_throughput.run_throughput(fixture, n_queries=PLANE_N_QUERIES)
     return plane_throughput.summarize(result, mdb_scale=mdb_scale, seed=seed)
+
+
+def run_edge_plane_benchmark(seed: int) -> dict:
+    """One edge-plane tracking run, summarised for baseline/compare."""
+    import edge_plane_throughput
+
+    result = edge_plane_throughput.run_tracking_throughput(
+        candidates=EDGE_PLANE_CANDIDATES,
+        n_frames=EDGE_PLANE_N_FRAMES,
+        seed=seed,
+    )
+    return edge_plane_throughput.summarize(result, seed=seed)
 
 
 def relative_drift(current: float, baseline: float) -> float:
@@ -173,6 +206,39 @@ def compare_plane(summary: dict, baseline: dict) -> list[str]:
     return failures
 
 
+def compare_edge_plane(summary: dict, baseline: dict) -> list[str]:
+    """Gate failures for the edge-plane tracking bench (empty = pass)."""
+    failures: list[str] = []
+    if not summary["identical"]:
+        failures.append(
+            "edge plane/fleet tracking diverged from the scalar tracker — "
+            "areas, offsets, removals or evaluation counts are no longer "
+            "bit-identical"
+        )
+    if summary["evaluations_per_frame"] != baseline["evaluations_per_frame"]:
+        failures.append(
+            "edge evaluations_per_frame drifted from baseline "
+            f"({summary['evaluations_per_frame']} vs "
+            f"{baseline['evaluations_per_frame']}) — the scan is "
+            "deterministic, so this is an algorithmic change"
+        )
+    if summary["speedup"] < EDGE_PLANE_SPEEDUP_FLOOR:
+        failures.append(
+            f"edge plane speedup {summary['speedup']:.2f}x fell below the "
+            f"{EDGE_PLANE_SPEEDUP_FLOOR:.0f}x floor at "
+            f"{summary['candidates']} candidates (baseline "
+            f"{baseline['speedup']:.2f}x, kernel={summary['kernel']}) — "
+            "tracking-path regression"
+        )
+    if summary["fleet_speedup"] < EDGE_FLEET_SPEEDUP_FLOOR:
+        failures.append(
+            f"edge fleet speedup {summary['fleet_speedup']:.2f}x fell below "
+            f"the {EDGE_FLEET_SPEEDUP_FLOOR:.0f}x floor (baseline "
+            f"{baseline['fleet_speedup']:.2f}x) — batched-stepping regression"
+        )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
@@ -182,7 +248,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--skip-plane",
         action="store_true",
-        help="gate only the Fig. 7(b) bench",
+        help="skip the serving-plane throughput gate",
+    )
+    parser.add_argument(
+        "--edge-plane-baseline",
+        type=Path,
+        default=DEFAULT_EDGE_PLANE_BASELINE,
+    )
+    parser.add_argument(
+        "--skip-edge-plane",
+        action="store_true",
+        help="skip the edge tracking-plane throughput gate",
     )
     parser.add_argument(
         "--update", action="store_true", help="rewrite the baseline and exit 0"
@@ -234,6 +310,20 @@ def main(argv: list[str] | None = None) -> int:
             )
         )
 
+    edge_summary = None
+    if not args.skip_edge_plane:
+        edge_summary = run_edge_plane_benchmark(args.seed)
+        print(
+            "edge plane: speedup {0:.2f}x, fleet {1:.2f}x "
+            "({2} candidates, kernel={3}, identical={4})".format(
+                edge_summary["speedup"],
+                edge_summary["fleet_speedup"],
+                edge_summary["candidates"],
+                edge_summary["kernel"],
+                edge_summary["identical"],
+            )
+        )
+
     if args.update:
         args.baseline.parent.mkdir(parents=True, exist_ok=True)
         args.baseline.write_text(json.dumps(summary, indent=2) + "\n")
@@ -244,6 +334,12 @@ def main(argv: list[str] | None = None) -> int:
                 json.dumps(plane_summary, indent=2) + "\n"
             )
             print(f"baseline updated: {args.plane_baseline}")
+        if edge_summary is not None:
+            args.edge_plane_baseline.parent.mkdir(parents=True, exist_ok=True)
+            args.edge_plane_baseline.write_text(
+                json.dumps(edge_summary, indent=2) + "\n"
+            )
+            print(f"baseline updated: {args.edge_plane_baseline}")
         return 0
 
     missing = [
@@ -251,6 +347,7 @@ def main(argv: list[str] | None = None) -> int:
         for path in (
             [args.baseline]
             + ([args.plane_baseline] if plane_summary is not None else [])
+            + ([args.edge_plane_baseline] if edge_summary is not None else [])
         )
         if not path.exists()
     ]
@@ -267,6 +364,9 @@ def main(argv: list[str] | None = None) -> int:
     if plane_summary is not None:
         plane_baseline = json.loads(args.plane_baseline.read_text())
         failures += compare_plane(plane_summary, plane_baseline)
+    if edge_summary is not None:
+        edge_baseline = json.loads(args.edge_plane_baseline.read_text())
+        failures += compare_edge_plane(edge_summary, edge_baseline)
     if failures:
         print("benchmark regression gate FAILED:", file=sys.stderr)
         for failure in failures:
@@ -278,6 +378,12 @@ def main(argv: list[str] | None = None) -> int:
         + (
             f", {PLANE_SPEEDUP_FLOOR:.0f}x floor vs {args.plane_baseline.name}"
             if plane_summary is not None
+            else ""
+        )
+        + (
+            f", {EDGE_PLANE_SPEEDUP_FLOOR:.0f}x edge floor vs "
+            f"{args.edge_plane_baseline.name}"
+            if edge_summary is not None
             else ""
         )
         + ")"

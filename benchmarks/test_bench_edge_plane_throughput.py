@@ -1,0 +1,34 @@
+"""Bench: edge tracking throughput, compiled plane & fleet vs scalar loop.
+
+The acceptance bar for the edge plane: plane-backed tracking is at
+least 3x faster than the scalar per-candidate loop at 100 tracked
+candidates, and fleet-batched stepping beats independent per-session
+scalar trackers by at least 2x — with bit-identical tracking steps in
+both cases.  A smaller sweep point sanity-checks that the compiled
+path wins across set sizes, not just at the gate's scale.
+"""
+
+import edge_plane_throughput
+import pytest
+
+N_FRAMES = 12
+GATE_CANDIDATES = 100
+
+
+@pytest.mark.parametrize("candidates", [25, GATE_CANDIDATES])
+def test_bench_edge_plane_throughput(benchmark, save_report, candidates):
+    result = benchmark.pedantic(
+        edge_plane_throughput.run_tracking_throughput,
+        kwargs={"candidates": candidates, "n_frames": N_FRAMES},
+        rounds=1,
+        iterations=1,
+    )
+    save_report(f"edge_plane_throughput_{candidates}", result.report())
+    assert result.identical  # the plane/fleet must not change any result
+    assert result.evaluations_per_frame > 0
+    if candidates == GATE_CANDIDATES:
+        assert result.speedup >= 3.0
+        assert result.fleet_speedup >= 2.0
+    else:
+        # Off the gate point the compiled path must still not lose.
+        assert result.speedup >= 1.0

@@ -82,6 +82,12 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1,
         help="search worker processes (>1 uses the shared-memory pool)",
     )
+    monitor.add_argument(
+        "--engine",
+        choices=["scalar", "plane"],
+        default="scalar",
+        help="edge tracking engine (plane = compiled set, fused stepping)",
+    )
 
     obs_cmd = subparsers.add_parser(
         "obs",
@@ -109,6 +115,12 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="search worker processes (>1 uses the shared-memory pool)",
+    )
+    obs_cmd.add_argument(
+        "--engine",
+        choices=["scalar", "plane"],
+        default="scalar",
+        help="edge tracking engine (plane = compiled set, fused stepping)",
     )
     obs_cmd.add_argument(
         "--chunk-samples",
@@ -215,6 +227,7 @@ def _cmd_table1(args: argparse.Namespace) -> str:
 
 def _cmd_monitor(args: argparse.Namespace) -> str:
     from repro.config import PipelineConfig, build_pipeline
+    from repro.edge.tracker import TrackerConfig
     from repro.signals.anomalies import AnomalySpec, make_anomalous_signal
     from repro.signals.generator import EEGGenerator
     from repro.signals.types import AnomalyType
@@ -239,6 +252,7 @@ def _cmd_monitor(args: argparse.Namespace) -> str:
             seed=args.seed,
             with_artifacts=False,
             search_workers=args.workers,
+            tracker=TrackerConfig(engine=args.engine),
         )
     ) as pipeline:
         session = pipeline.framework.run(recording)
@@ -281,8 +295,9 @@ def _cmd_obs(args: argparse.Namespace) -> str:
     """End-to-end streaming run with the observability layer enabled."""
     from repro import obs
     from repro.config import PipelineConfig, build_pipeline
+    from repro.edge.tracker import TrackerConfig
     from repro.obs.profiling import profile_block
-    from repro.runtime.streaming import StreamingMonitor
+    from repro.runtime.streaming import StreamingConfig, StreamingMonitor
 
     obs.reset()
     obs.enable(profiling=args.profile)
@@ -295,7 +310,10 @@ def _cmd_obs(args: argparse.Namespace) -> str:
         )
     ) as pipeline:
         recording = _obs_recording(args)
-        monitor = StreamingMonitor(pipeline.cloud)
+        monitor = StreamingMonitor(
+            pipeline.cloud,
+            StreamingConfig(tracker=TrackerConfig(engine=args.engine)),
+        )
         chunk = max(1, args.chunk_samples)
         with profile_block("obs.streaming_run", obs.profiles()):
             for start in range(0, len(recording.data), chunk):

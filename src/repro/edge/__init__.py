@@ -3,7 +3,15 @@
 * :mod:`repro.edge.acquisition` — sampling, streaming bandpass
   filtering and framing of the patient's EEG.
 * :mod:`repro.edge.tracker` — Algorithm 2: area-between-curves signal
-  tracking over the downloaded correlation set.
+  tracking over the downloaded correlation set (scalar reference
+  engine plus the engine seam).
+* :mod:`repro.edge.plane` — the compiled tracking plane: the loaded
+  correlation set compiled once into one contiguous window tensor,
+  each step a single fused reduction (bit-identical to the scalar
+  engine).
+* :mod:`repro.edge.fleet` — many concurrent sessions stepped in one
+  batched call, compiled slices deduplicated across sessions by
+  slice id.
 * :mod:`repro.edge.predictor` — anomaly-probability trend analysis and
   the anomaly / normal decision.
 * :mod:`repro.edge.device` — the edge device facade combining all three
@@ -13,8 +21,17 @@
 from repro.edge.acquisition import SignalAcquisition
 from repro.edge.device import CloudCallPolicy, EdgeDevice
 from repro.edge.energy import EdgeEnergyModel, EnergySpec, SessionEnergy
+from repro.edge.fleet import FleetTracker
+from repro.edge.plane import TrackingPlane, compile_slice_windows
 from repro.edge.predictor import AnomalyPredictor, PredictorConfig, ProbabilityTrace
-from repro.edge.tracker import SignalTracker, TrackedSignal, TrackerConfig, TrackingStep
+from repro.edge.tracker import (
+    ScalarTrackingEngine,
+    SignalTracker,
+    TrackedSignal,
+    TrackerConfig,
+    TrackingEngine,
+    TrackingStep,
+)
 
 __all__ = [
     "AnomalyPredictor",
@@ -22,12 +39,17 @@ __all__ = [
     "EdgeDevice",
     "EdgeEnergyModel",
     "EnergySpec",
+    "FleetTracker",
     "PredictorConfig",
     "ProbabilityTrace",
+    "ScalarTrackingEngine",
     "SessionEnergy",
     "SignalAcquisition",
     "SignalTracker",
     "TrackedSignal",
     "TrackerConfig",
+    "TrackingEngine",
+    "TrackingPlane",
     "TrackingStep",
+    "compile_slice_windows",
 ]

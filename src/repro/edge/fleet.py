@@ -1,0 +1,285 @@
+"""Fleet-scale edge tracking: many sessions, shared compiled slices.
+
+A deployment tracking thousands of concurrent patients does not get
+thousands of independent correlation sets: the cloud hands every
+session matches drawn from the *same* mega-database, so the expensive
+frame-invariant compile work (strided windows, per-offset means/RMS,
+normalisation — see :mod:`repro.edge.plane`) is massively duplicated
+across sessions.  :class:`FleetTracker` hosts the sessions behind one
+object and deduplicates that work content-addressed by slice id: the
+first session to adopt an MDB slice compiles it via
+:func:`~repro.edge.plane.compile_slice_windows`; every other session
+tracking the same slice shares the compiled tensor.  Entries are
+reference-counted and evicted as soon as no session tracks them.
+
+:meth:`FleetTracker.step` advances every session supplied in one
+batched call.  Each session's frame is normalised once and evaluated
+against its candidates' shared compiled windows with the same fused
+reduction the single-session plane uses
+(:func:`repro.edge._kernels.abs_diff_row_sums`), so per-session results
+— areas, offsets, removals, ``area_evaluations``, PA — are
+**bit-identical** to an independent :class:`~repro.edge.tracker.SignalTracker`
+stepping the same frames (``tests/test_edge_plane.py`` asserts it).
+
+Slices with an empty ``slice_id`` cannot be content-addressed and are
+compiled privately per candidate (correct, just unshared).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.cloud.results import SearchMatch, SearchResult
+from repro.edge._kernels import abs_diff_row_sums
+from repro.edge.plane import CompiledSliceWindows, compile_slice_windows
+from repro.edge.tracker import TrackedSignal, TrackerConfig, TrackingStep
+from repro.errors import TrackingError
+from repro.signals.metrics import normalized_query
+
+
+@dataclass
+class _CacheEntry:
+    """One compiled slice plus how many live candidates reference it."""
+
+    key: object
+    windows: CompiledSliceWindows | None  # None: slice shorter than a frame
+    refs: int = 0
+
+
+@dataclass
+class _FleetSession:
+    """Per-session tracking state (mirrors ``SignalTracker``'s)."""
+
+    signals: list[TrackedSignal]
+    entries: list[_CacheEntry]  # parallel to ``signals``
+    iteration: int = 0
+
+
+class FleetTracker:
+    """Steps many concurrent tracking sessions in one batched call.
+
+    All sessions share a single :class:`~repro.edge.tracker.TrackerConfig`
+    — the fleet shape assumes one deployment-wide parameterisation, which
+    is also what makes compiled slices shareable (windows depend on frame
+    size, stride and reference RMS).
+    """
+
+    def __init__(self, config: TrackerConfig | None = None) -> None:
+        self.config = config or TrackerConfig()
+        self._sessions: dict[str, _FleetSession] = {}
+        self._cache: dict[object, _CacheEntry] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def session_ids(self) -> tuple[str, ...]:
+        return tuple(self._sessions)
+
+    @property
+    def session_count(self) -> int:
+        return len(self._sessions)
+
+    @property
+    def unique_slices(self) -> int:
+        """Distinct compiled slices currently cached."""
+        return len(self._cache)
+
+    @property
+    def tracked_references(self) -> int:
+        """Live candidate → compiled-slice references across sessions."""
+        return sum(entry.refs for entry in self._cache.values())
+
+    @property
+    def compiled_bytes(self) -> int:
+        """Bytes of compiled windows held (shared entries counted once)."""
+        return sum(
+            entry.windows.nbytes
+            for entry in self._cache.values()
+            if entry.windows is not None
+        )
+
+    @property
+    def dedup_ratio(self) -> float:
+        """References per unique slice (1.0 = no cross-session sharing)."""
+        if not self._cache:
+            return 1.0
+        return self.tracked_references / len(self._cache)
+
+    def tracked(self, session_id: str) -> tuple[TrackedSignal, ...]:
+        """The session's live candidates, in tracking order."""
+        return tuple(self._session(session_id).signals)
+
+    def anomaly_probability(self, session_id: str) -> float:
+        """Eq. 5 PA for one session (0 when nothing is tracked)."""
+        signals = self._session(session_id).signals
+        if not signals:
+            return 0.0
+        return sum(1 for s in signals if s.anomalous) / len(signals)
+
+    def _session(self, session_id: str) -> _FleetSession:
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise TrackingError(f"unknown fleet session {session_id!r}") from None
+
+    # -- session lifecycle ---------------------------------------------
+
+    def open_session(
+        self, session_id: str, matches: Sequence[SearchMatch] | SearchResult
+    ) -> None:
+        """Adopt a correlation set for ``session_id`` (replacing any).
+
+        Reopening an existing session id is the fleet equivalent of
+        :meth:`SignalTracker.load`: the old set's references are
+        released and the iteration counter restarts.
+        """
+        if session_id in self._sessions:
+            self.close_session(session_id)
+        entries_in = (
+            matches.matches if isinstance(matches, SearchResult) else list(matches)
+        )
+        signals: list[TrackedSignal] = []
+        entries: list[_CacheEntry] = []
+        for match in entries_in:
+            signals.append(
+                TrackedSignal(
+                    sig_slice=match.sig_slice,
+                    omega=match.omega,
+                    offset=match.offset,
+                )
+            )
+            entries.append(self._acquire(match))
+        self._sessions[session_id] = _FleetSession(signals=signals, entries=entries)
+        self._publish_gauges()
+
+    def close_session(self, session_id: str) -> None:
+        """Drop a session and release its compiled-slice references."""
+        session = self._session(session_id)
+        for entry in session.entries:
+            self._release(entry)
+        del self._sessions[session_id]
+        self._publish_gauges()
+
+    def _acquire(self, match: SearchMatch) -> _CacheEntry:
+        sig_slice = match.sig_slice
+        key: object = sig_slice.slice_id if sig_slice.slice_id else object()
+        entry = self._cache.get(key)
+        if entry is None:
+            entry = _CacheEntry(
+                key=key,
+                windows=compile_slice_windows(
+                    sig_slice.data,
+                    self.config.frame_samples,
+                    self.config.offset_stride,
+                    self.config.reference_rms,
+                ),
+            )
+            self._cache[key] = entry
+            self.cache_misses += 1
+            obs.metrics().inc("edge.fleet.cache_misses")
+        else:
+            self.cache_hits += 1
+            obs.metrics().inc("edge.fleet.cache_hits")
+        entry.refs += 1
+        return entry
+
+    def _release(self, entry: _CacheEntry) -> None:
+        entry.refs -= 1
+        if entry.refs <= 0:
+            del self._cache[entry.key]
+
+    # -- batched stepping ----------------------------------------------
+
+    def step(self, frames: Mapping[str, np.ndarray]) -> dict[str, TrackingStep]:
+        """Advance every supplied session by one frame, in one call.
+
+        ``frames`` maps session id → that session's next input frame;
+        sessions not present simply do not advance this round (their
+        amplifier delivered no complete frame yet).
+        """
+        size = self.config.frame_samples
+        queries: dict[str, np.ndarray] = {}
+        for session_id, frame in frames.items():
+            self._session(session_id)  # validate before mutating any state
+            data = np.asarray(frame, dtype=np.float64)
+            if data.ndim != 1 or data.size != size:
+                raise TrackingError(
+                    f"tracking frame must be 1-D with {size} samples, "
+                    f"got shape {data.shape} for session {session_id!r}"
+                )
+            queries[session_id] = data
+        steps: dict[str, TrackingStep] = {}
+        with obs.trace.span("edge.fleet.step", sessions=len(queries)) as span:
+            for session_id, data in queries.items():
+                steps[session_id] = self._step_session(session_id, data)
+        registry = obs.metrics()
+        if registry.enabled:
+            registry.inc("edge.fleet.steps")
+            registry.observe("edge.fleet.step_s", span.elapsed_s)
+            registry.inc(
+                "edge.fleet.area_evaluations",
+                sum(step.area_evaluations for step in steps.values()),
+            )
+            self._publish_gauges()
+        return steps
+
+    def _step_session(self, session_id: str, data: np.ndarray) -> TrackingStep:
+        session = self._sessions[session_id]
+        session.iteration += 1
+        tracked_before = len(session.signals)
+        if self.config.reference_rms is not None:
+            query = normalized_query(data, self.config.reference_rms)
+            worst = float(np.abs(query).sum())
+        else:
+            query = np.ascontiguousarray(data)
+            worst = float("inf")
+
+        survivors: list[TrackedSignal] = []
+        surviving_entries: list[_CacheEntry] = []
+        removed: list[TrackedSignal] = []
+        evaluations = 0
+        for signal, entry in zip(session.signals, session.entries):
+            compiled = entry.windows
+            if compiled is None:
+                # Slice too short for even one comparison window.
+                signal.last_area = float("inf")
+                removed.append(signal)
+                self._release(entry)
+                continue
+            areas = abs_diff_row_sums(compiled.windows, query)
+            areas[compiled.flat] = worst
+            evaluations += areas.size
+            best = int(np.argmin(areas))
+            signal.last_area = float(areas[best])
+            if signal.last_area > self.config.area_threshold:
+                removed.append(signal)
+                self._release(entry)
+            else:
+                signal.offset = best * self.config.offset_stride
+                survivors.append(signal)
+                surviving_entries.append(entry)
+        session.signals = survivors
+        session.entries = surviving_entries
+        return TrackingStep(
+            iteration=session.iteration,
+            tracked_before=tracked_before,
+            removed=len(removed),
+            area_evaluations=evaluations,
+            anomaly_probability=self.anomaly_probability(session_id),
+            removed_signals=removed,
+        )
+
+    def _publish_gauges(self) -> None:
+        registry = obs.metrics()
+        if not registry.enabled:
+            return
+        registry.set_gauge("edge.fleet.sessions", len(self._sessions))
+        registry.set_gauge("edge.fleet.unique_slices", self.unique_slices)
+        registry.set_gauge("edge.fleet.tracked_references", self.tracked_references)
+        registry.set_gauge("edge.fleet.compiled_bytes", self.compiled_bytes)

@@ -23,6 +23,7 @@ its evaluation count so the timing model can convert it to edge time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Protocol, Sequence
 
 import numpy as np
 
@@ -31,6 +32,9 @@ from repro.cloud.results import SearchMatch, SearchResult
 from repro.errors import TrackingError
 from repro.signals.metrics import sliding_area, sliding_area_normalized
 from repro.signals.types import FRAME_SAMPLES, Frame, SignalSlice
+
+#: Engine names :class:`TrackerConfig.engine` accepts.
+TRACKING_ENGINES = ("scalar", "plane")
 
 #: Paper's area threshold δ_A (~900 sq. units ≈ δ = 0.8, Fig. 8a).
 DEFAULT_AREA_THRESHOLD = 900.0
@@ -54,12 +58,19 @@ class TrackerConfig:
     :data:`TRACKING_REFERENCE_RMS`); set it to ``None`` to compare raw
     µV waveforms, in which case ``area_threshold`` must be chosen for
     the input's own amplitude scale.
+
+    ``engine`` selects how the area scan executes: ``"scalar"`` is the
+    reference per-candidate Python loop, ``"plane"`` compiles the
+    loaded set once and evaluates each step as one batched reduction
+    (:class:`repro.edge.plane.TrackingPlane`) — bit-identical results,
+    different cost.
     """
 
     area_threshold: float = DEFAULT_AREA_THRESHOLD
     frame_samples: int = FRAME_SAMPLES
     reference_rms: float | None = TRACKING_REFERENCE_RMS
     offset_stride: int = 4
+    engine: str = "scalar"
 
     def __post_init__(self) -> None:
         if self.area_threshold <= 0:
@@ -77,6 +88,11 @@ class TrackerConfig:
         if self.offset_stride < 1:
             raise TrackingError(
                 f"offset stride must be >= 1, got {self.offset_stride}"
+            )
+        if self.engine not in TRACKING_ENGINES:
+            raise TrackingError(
+                f"unknown tracking engine {self.engine!r}; "
+                f"expected one of {TRACKING_ENGINES}"
             )
 
 
@@ -110,13 +126,111 @@ class TrackingStep:
         return self.tracked_before - self.removed
 
 
+@dataclass
+class EngineStep:
+    """What a tracking engine reports for one evaluated frame.
+
+    ``survivors`` and ``removed`` partition the engine's live set in
+    candidate order; the engine has already updated each signal's
+    ``last_area`` (and survivors' ``offset``).
+    """
+
+    survivors: list[TrackedSignal]
+    removed: list[TrackedSignal]
+    area_evaluations: int
+
+
+class TrackingEngine(Protocol):
+    """Anything that can run Algorithm 2's area scan over a loaded set.
+
+    The engine seam mirroring the cloud's
+    :class:`~repro.cloud.server.SearchEngine`: engines own the
+    candidate state between :meth:`load` calls, and
+    :class:`SignalTracker` orchestrates validation, iteration counting
+    and metrics around them.  Satisfied by
+    :class:`ScalarTrackingEngine` and
+    :class:`repro.edge.plane.TrackingPlane`.
+    """
+
+    def load(self, signals: Sequence[TrackedSignal]) -> None:
+        ...
+
+    def step(self, data: np.ndarray) -> EngineStep:
+        ...
+
+
+class ScalarTrackingEngine:
+    """The reference per-candidate Python loop (bit-exactness baseline).
+
+    Every step rebuilds each slice's window statistics from scratch via
+    :func:`~repro.signals.metrics.sliding_area_normalized`; the
+    compiled plane exists precisely to amortise that work, and is held
+    to this engine's outputs bit for bit.
+    """
+
+    def __init__(self, config: TrackerConfig) -> None:
+        self.config = config
+        self._signals: list[TrackedSignal] = []
+
+    def load(self, signals: Sequence[TrackedSignal]) -> None:
+        self._signals = list(signals)
+
+    def step(self, data: np.ndarray) -> EngineStep:
+        survivors: list[TrackedSignal] = []
+        removed: list[TrackedSignal] = []
+        evaluations = 0
+        for signal in self._signals:
+            if len(signal.sig_slice) < self.config.frame_samples:
+                # Too short to hold even one comparison window: retired
+                # with a defined worst-case area.
+                signal.last_area = float("inf")
+                removed.append(signal)
+                continue
+            if self.config.reference_rms is not None:
+                areas = sliding_area_normalized(
+                    data,
+                    signal.sig_slice.data,
+                    self.config.reference_rms,
+                    stride=self.config.offset_stride,
+                )
+            else:
+                areas = sliding_area(
+                    data, signal.sig_slice.data, stride=self.config.offset_stride
+                )
+            evaluations += areas.size
+            best = int(np.argmin(areas))
+            signal.last_area = float(areas[best])
+            if signal.last_area > self.config.area_threshold:
+                removed.append(signal)
+            else:
+                signal.offset = best * self.config.offset_stride
+                survivors.append(signal)
+        self._signals = survivors
+        return EngineStep(
+            survivors=survivors, removed=removed, area_evaluations=evaluations
+        )
+
+
 class SignalTracker:
     """Tracks the signal correlation set against incoming frames."""
 
-    def __init__(self, config: TrackerConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: TrackerConfig | None = None,
+        engine: TrackingEngine | None = None,
+    ) -> None:
         self.config = config or TrackerConfig()
+        self.engine = engine if engine is not None else self._build_engine()
         self._tracked: list[TrackedSignal] = []
         self._iteration = 0
+
+    def _build_engine(self) -> TrackingEngine:
+        if self.config.engine == "plane":
+            # Imported lazily: plane.py depends on this module.
+            from repro.edge.plane import TrackingPlane
+
+            return TrackingPlane(self.config)
+        return ScalarTrackingEngine(self.config)
 
     # -- set management ------------------------------------------------
 
@@ -134,6 +248,7 @@ class SignalTracker:
             )
             for match in entries
         ]
+        self.engine.load(self._tracked)
         self._iteration = 0
 
     @property
@@ -178,41 +293,16 @@ class SignalTracker:
             )
         self._iteration += 1
         tracked_before = len(self._tracked)
-        survivors: list[TrackedSignal] = []
-        removed: list[TrackedSignal] = []
-        evaluations = 0
         with obs.trace.span("edge.track_step", tracked=tracked_before) as span:
-            for signal in self._tracked:
-                if len(signal.sig_slice) < self.config.frame_samples:
-                    removed.append(signal)
-                    continue
-                if self.config.reference_rms is not None:
-                    areas = sliding_area_normalized(
-                        data,
-                        signal.sig_slice.data,
-                        self.config.reference_rms,
-                        stride=self.config.offset_stride,
-                    )
-                else:
-                    areas = sliding_area(
-                        data, signal.sig_slice.data, stride=self.config.offset_stride
-                    )
-                evaluations += areas.size
-                best = int(np.argmin(areas))
-                signal.last_area = float(areas[best])
-                if signal.last_area > self.config.area_threshold:
-                    removed.append(signal)
-                else:
-                    signal.offset = best * self.config.offset_stride
-                    survivors.append(signal)
-        self._tracked = survivors
+            outcome = self.engine.step(data)
+        self._tracked = outcome.survivors
         step = TrackingStep(
             iteration=self._iteration,
             tracked_before=tracked_before,
-            removed=len(removed),
-            area_evaluations=evaluations,
+            removed=len(outcome.removed),
+            area_evaluations=outcome.area_evaluations,
             anomaly_probability=self.anomaly_probability(),
-            removed_signals=removed,
+            removed_signals=outcome.removed,
         )
         self._publish(step, span.elapsed_s)
         return step

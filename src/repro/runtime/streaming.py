@@ -19,6 +19,7 @@ subsequent frames until a fresh set is adopted.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -71,6 +72,10 @@ class StreamingConfig:
     #: Simulated cloud round-trip in whole frames: a search issued at
     #: frame N is adopted at frame N + latency (Fig. 9's in-flight gap).
     cloud_latency_frames: int = 2
+    #: Keep at most this many entries in :attr:`StreamingMonitor.updates`
+    #: (oldest dropped first).  ``None`` retains every update — fine for
+    #: tests and short sessions, unbounded for a long-lived monitor.
+    max_retained_updates: int | None = None
 
     def __post_init__(self) -> None:
         if self.frame_samples <= 0:
@@ -80,6 +85,11 @@ class StreamingConfig:
         if self.cloud_latency_frames < 0:
             raise FrameworkError(
                 f"cloud latency must be non-negative, got {self.cloud_latency_frames}"
+            )
+        if self.max_retained_updates is not None and self.max_retained_updates < 1:
+            raise FrameworkError(
+                "max_retained_updates must be None or >= 1, got "
+                f"{self.max_retained_updates}"
             )
 
 
@@ -95,7 +105,12 @@ class StreamingMonitor:
         self._filter = StreamingFIRFilter(self.config.filter_spec)
         self._tracker = SignalTracker(self.config.tracker)
         self._predictor = AnomalyPredictor(self.config.predictor)
-        self._buffer = np.empty(0)
+        # Filtered samples awaiting a complete frame, kept as the pushed
+        # chunks rather than one array: re-concatenating on every push
+        # is O(buffer) per chunk, i.e. quadratic for the many-small-chunk
+        # delivery real amplifiers produce.
+        self._chunks: deque[np.ndarray] = deque()
+        self._buffered = 0
         self._frame_index = 0
         self._iterations_since_refresh = 0
         self._pending: tuple[int, SearchResult] | None = None  # (ready_frame, result)
@@ -122,14 +137,39 @@ class StreamingMonitor:
         if chunk.size == 0:
             return []
         filtered = self._filter.process(chunk)
-        self._buffer = np.concatenate([self._buffer, filtered])
+        if filtered.size:
+            self._chunks.append(filtered)
+            self._buffered += filtered.size
         emitted: list[MonitorUpdate] = []
         size = self.config.frame_samples
-        while self._buffer.size >= size:
-            frame_data, self._buffer = self._buffer[:size], self._buffer[size:]
-            emitted.append(self._handle_frame(frame_data))
+        while self._buffered >= size:
+            emitted.append(self._handle_frame(self._assemble_frame(size)))
         self.updates.extend(emitted)
+        limit = self.config.max_retained_updates
+        if limit is not None and len(self.updates) > limit:
+            del self.updates[: len(self.updates) - limit]
         return emitted
+
+    @property
+    def buffered_samples(self) -> int:
+        """Filtered samples waiting for the next frame boundary."""
+        return self._buffered
+
+    def _assemble_frame(self, size: int) -> np.ndarray:
+        """Pop exactly ``size`` buffered samples into one frame array."""
+        frame = np.empty(size)
+        filled = 0
+        while filled < size:
+            head = self._chunks[0]
+            take = min(head.size, size - filled)
+            frame[filled : filled + take] = head[:take]
+            if take == head.size:
+                self._chunks.popleft()
+            else:
+                self._chunks[0] = head[take:]
+            filled += take
+        self._buffered -= size
+        return frame
 
     def _handle_frame(self, data: np.ndarray) -> MonitorUpdate:
         with obs.trace.span("runtime.stream_frame") as span:
@@ -241,7 +281,8 @@ class StreamingMonitor:
         self._tracker = SignalTracker(self.config.tracker)
         self._predictor = AnomalyPredictor(self.config.predictor)
         self._client.reset()
-        self._buffer = np.empty(0)
+        self._chunks.clear()
+        self._buffered = 0
         self._frame_index = 0
         self._iterations_since_refresh = 0
         self._pending = None

@@ -12,6 +12,8 @@ Implements the paper's two similarity measures:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.errors import SignalError
@@ -136,6 +138,112 @@ def sliding_normalized_correlation(
     return np.clip(values, -1.0, 1.0)
 
 
+@dataclass(frozen=True)
+class SlidingWindowStats:
+    """Frame-invariant per-offset statistics of a series' strided windows.
+
+    Everything here depends only on the *series*, the window length and
+    the stride — never on the query frame — so it can be computed once
+    when a slice is adopted and reused for every subsequent comparison
+    (the edge tracking plane's compile step,
+    :mod:`repro.edge.plane`).  ``windows`` is a read-only strided view
+    into the original series; entry ``k`` covers offset ``k · stride``.
+    """
+
+    windows: np.ndarray
+    means: np.ndarray
+    rms: np.ndarray
+    flat: np.ndarray
+    stride: int
+
+    @property
+    def n_offsets(self) -> int:
+        return int(self.windows.shape[0])
+
+    @property
+    def window_samples(self) -> int:
+        return int(self.windows.shape[1])
+
+
+def sliding_window_stats(
+    series: np.ndarray, window_samples: int, stride: int = 1
+) -> SlidingWindowStats:
+    """Precompute every strided window's mean/RMS statistics.
+
+    This is the query-independent half of
+    :func:`sliding_area_normalized`, split out so callers that compare
+    many frames against an unchanged series (the edge tracker between
+    cloud refreshes) pay for the prefix sums exactly once.  The
+    formulas are identical to the inline versions, so consumers remain
+    bit-identical to the one-shot path.
+    """
+    data = np.asarray(series, dtype=np.float64)
+    if data.ndim != 1:
+        raise SignalError(f"series must be 1-D, got shape {data.shape}")
+    if stride < 1:
+        raise SignalError(f"stride must be >= 1, got {stride}")
+    m = window_samples
+    if m <= 0:
+        raise SignalError(f"window length must be positive, got {m}")
+    if data.size < m:
+        raise SignalError(
+            f"series of length {data.size} shorter than window of length {m}"
+        )
+    n_offsets = (data.size - m) // stride + 1
+    shape = (n_offsets, m)
+    strides = (data.strides[0] * stride, data.strides[0])
+    windows = np.lib.stride_tricks.as_strided(data, shape=shape, strides=strides)
+
+    prefix = np.concatenate(([0.0], np.cumsum(data)))
+    prefix_sq = np.concatenate(([0.0], np.cumsum(data * data)))
+    starts = np.arange(n_offsets) * stride
+    sums = prefix[starts + m] - prefix[starts]
+    sq_sums = prefix_sq[starts + m] - prefix_sq[starts]
+    means = sums / m
+    variances = np.maximum(sq_sums / m - means**2, 0.0)
+    rms = np.sqrt(variances)
+    flat = rms < NORM_EPSILON
+    return SlidingWindowStats(
+        windows=windows, means=means, rms=rms, flat=flat, stride=stride
+    )
+
+
+def normalized_sliding_windows(
+    stats: SlidingWindowStats, reference_rms: float
+) -> np.ndarray:
+    """Materialise every window rescaled to zero mean and ``reference_rms``.
+
+    Flat (zero-variance) windows are centred and scaled by
+    ``reference_rms`` itself, exactly as the one-shot path computes
+    them before overriding their area with the worst case; consumers
+    must still apply that override using ``stats.flat``.
+    """
+    if reference_rms <= 0:
+        raise SignalError(f"reference RMS must be positive, got {reference_rms}")
+    safe_rms = np.where(stats.flat, 1.0, stats.rms)
+    scale = reference_rms / safe_rms
+    return (stats.windows - stats.means[:, None]) * scale[:, None]
+
+
+def normalized_query(window: np.ndarray, reference_rms: float) -> np.ndarray:
+    """The query half of :func:`sliding_area_normalized`'s rescaling.
+
+    Centres the frame and rescales it to ``reference_rms`` (a frame
+    with numerically zero variance is only centred, matching the
+    inline path).
+    """
+    win = np.asarray(window, dtype=np.float64)
+    if win.ndim != 1:
+        raise SignalError(f"query window must be 1-D, got shape {win.shape}")
+    if win.size == 0:
+        raise SignalError("window must not be empty")
+    if reference_rms <= 0:
+        raise SignalError(f"reference RMS must be positive, got {reference_rms}")
+    centered = win - win.mean()
+    win_rms = float(np.sqrt(np.mean(centered**2)))
+    return centered * (reference_rms / win_rms) if win_rms > NORM_EPSILON else centered
+
+
 def sliding_area(
     window: np.ndarray, series: np.ndarray, stride: int = 1
 ) -> np.ndarray:
@@ -198,29 +306,10 @@ def sliding_area_normalized(
             f"series of length {data.size} shorter than window of length {m}"
         )
 
-    centered = win - win.mean()
-    win_rms = float(np.sqrt(np.mean(centered**2)))
-    query = centered * (reference_rms / win_rms) if win_rms > NORM_EPSILON else centered
-
-    n_offsets = (data.size - m) // stride + 1
-    shape = (n_offsets, m)
-    strides = (data.strides[0] * stride, data.strides[0])
-    windows = np.lib.stride_tricks.as_strided(data, shape=shape, strides=strides)
-
-    prefix = np.concatenate(([0.0], np.cumsum(data)))
-    prefix_sq = np.concatenate(([0.0], np.cumsum(data * data)))
-    starts = np.arange(n_offsets) * stride
-    sums = prefix[starts + m] - prefix[starts]
-    sq_sums = prefix_sq[starts + m] - prefix_sq[starts]
-    means = sums / m
-    variances = np.maximum(sq_sums / m - means**2, 0.0)
-    rms = np.sqrt(variances)
-
-    flat = rms < NORM_EPSILON
-    safe_rms = np.where(flat, 1.0, rms)
-    scale = reference_rms / safe_rms
-    areas = np.abs(
-        (windows - means[:, None]) * scale[:, None] - query
-    ).sum(axis=1)
-    areas[flat] = float(np.abs(query).sum())
+    query = normalized_query(win, reference_rms)
+    stats = sliding_window_stats(data, m, stride)
+    areas = np.abs(normalized_sliding_windows(stats, reference_rms) - query).sum(
+        axis=1
+    )
+    areas[stats.flat] = float(np.abs(query).sum())
     return areas

@@ -91,10 +91,14 @@ class WindowedStats:
         length = window_centered.size
         self._check_window(offset, length)
         slice_norm = self.centered_norm(offset, length)
-        if slice_norm < NORM_EPSILON or window_norm < NORM_EPSILON:
+        # Flatness gates on the *product* of the norms — the same
+        # criterion as normalized_cross_correlation and the compiled
+        # search plane, so all three paths agree on near-flat windows.
+        denominator = window_norm * slice_norm
+        if denominator < NORM_EPSILON:
             return 0.0
         segment = self._data[offset : offset + length]
         # Window mean cancels against Σ window_centered = 0.
         dot = float(np.dot(window_centered, segment))
-        value = dot / (window_norm * slice_norm)
+        value = dot / denominator
         return min(1.0, max(-1.0, value))

@@ -1,0 +1,401 @@
+"""Tests for the compiled edge tracking plane and fleet batching.
+
+Covers the fused area kernel (bitwise against numpy on every backend),
+the plane's compile/compaction mechanics, the short-slice removal
+contract, and the cross-engine equivalence property: the scalar
+tracker, the compiled plane and the fleet must produce bit-identical
+``TrackingStep`` sequences — areas, offsets, removals, evaluation
+counts and anomaly probabilities — over random correlation sets,
+strides and both normalisation modes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud.results import SearchMatch
+from repro.cloud.server import CloudServer
+from repro.edge._kernels import _numpy_row_sums, abs_diff_row_sums, kernel_backend
+from repro.edge.fleet import FleetTracker
+from repro.edge.plane import TrackingPlane, compile_slice_windows
+from repro.edge.tracker import (
+    ScalarTrackingEngine,
+    SignalTracker,
+    TrackerConfig,
+)
+from repro.errors import TrackingError
+from repro.runtime.streaming import StreamingConfig, StreamingMonitor
+from repro.signals.generator import EEGGenerator
+from repro.signals.types import AnomalyType, SignalSlice
+
+
+def _random_matches(
+    seed: int,
+    n: int = 24,
+    slice_len: int = 1000,
+    short_every: int = 7,
+    flat_every: int = 9,
+) -> list[SearchMatch]:
+    """A deterministic correlation set with short and flat-stretch slices."""
+    rng = np.random.default_rng(seed)
+    matches = []
+    for index in range(n):
+        if short_every and index % short_every == 3:
+            data = rng.standard_normal(int(rng.integers(10, 200))) * 7
+        elif flat_every and index % flat_every == 5:
+            data = rng.standard_normal(slice_len) * 7
+            data[100:500] = 2.5  # zero-variance stretch -> flat windows
+        else:
+            data = rng.standard_normal(slice_len) * 7
+        label = AnomalyType.SEIZURE if index % 3 == 0 else AnomalyType.NONE
+        sig_slice = SignalSlice(
+            data=data, label=label, slice_id=f"p{seed}-{index}"
+        )
+        matches.append(SearchMatch(sig_slice=sig_slice, omega=0.9, offset=0))
+    return matches
+
+
+def _frames(seed: int, count: int, samples: int = 256) -> list[np.ndarray]:
+    rng = np.random.default_rng(seed + 50_000)
+    return [rng.standard_normal(samples) * 7 for _ in range(count)]
+
+
+def _step_key(step, tracked):
+    """Everything a TrackingStep observably carries, bit-compared."""
+    return (
+        step.iteration,
+        step.tracked_before,
+        step.removed,
+        step.area_evaluations,
+        step.anomaly_probability,
+        tuple(
+            (s.sig_slice.slice_id, s.last_area, s.offset, s.omega) for s in tracked
+        ),
+        tuple((s.sig_slice.slice_id, s.last_area) for s in step.removed_signals),
+    )
+
+
+def _run_tracker(engine: str, matches, frames, **overrides):
+    tracker = SignalTracker(TrackerConfig(engine=engine, **overrides))
+    tracker.load(matches)
+    return [
+        _step_key(tracker.step(frame), tracker.tracked) for frame in frames
+    ]
+
+
+def _run_fleet(matches, frames, **overrides):
+    fleet = FleetTracker(TrackerConfig(**overrides))
+    fleet.open_session("s", matches)
+    keys = []
+    for frame in frames:
+        step = fleet.step({"s": frame})["s"]
+        keys.append(_step_key(step, fleet.tracked("s")))
+    return keys
+
+
+class TestAreaKernel:
+    def test_backend_is_known(self):
+        assert kernel_backend() in ("c", "numpy")
+
+    @pytest.mark.parametrize("m", [1, 7, 64, 100, 131, 256, 1000])
+    def test_selected_backend_bitwise_equals_numpy(self, m):
+        rng = np.random.default_rng(m)
+        rows = np.ascontiguousarray(rng.standard_normal((13, m)) * 1e3)
+        query = rng.standard_normal(m)
+        expected = np.abs(rows - query).sum(axis=1)
+        np.testing.assert_array_equal(abs_diff_row_sums(rows, query), expected)
+
+    @pytest.mark.parametrize("m", [1, 7, 256, 1000])
+    def test_numpy_fallback_bitwise_equals_numpy(self, m):
+        rng = np.random.default_rng(m + 1)
+        rows = np.ascontiguousarray(rng.standard_normal((700, m)))
+        query = rng.standard_normal(m)
+        out = np.empty(rows.shape[0])
+        _numpy_row_sums(rows, query, out)
+        np.testing.assert_array_equal(out, np.abs(rows - query).sum(axis=1))
+
+    def test_writes_into_out(self):
+        rng = np.random.default_rng(0)
+        rows = np.ascontiguousarray(rng.standard_normal((4, 32)))
+        query = rng.standard_normal(32)
+        out = np.empty(4)
+        returned = abs_diff_row_sums(rows, query, out=out)
+        assert returned is out
+
+    def test_empty_rows_ok(self):
+        out = abs_diff_row_sums(np.empty((0, 16)), np.zeros(16))
+        assert out.shape == (0,)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError, match="2-D"):
+            abs_diff_row_sums(np.zeros(8), np.zeros(8))
+        with pytest.raises(ValueError, match="match row length"):
+            abs_diff_row_sums(np.zeros((2, 8)), np.zeros(4))
+        with pytest.raises(ValueError, match="match"):
+            abs_diff_row_sums(np.zeros((2, 8)), np.zeros(8), out=np.empty(3))
+        with pytest.raises(ValueError, match="contiguous"):
+            abs_diff_row_sums(np.zeros((4, 16))[:, ::2], np.zeros(8))
+        with pytest.raises(ValueError, match="float64"):
+            abs_diff_row_sums(
+                np.zeros((2, 8), dtype=np.float32), np.zeros(8, dtype=np.float32)
+            )
+
+
+class TestTrackerConfigEngine:
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(TrackingError, match="unknown tracking engine"):
+            TrackerConfig(engine="gpu")
+
+    def test_engine_selection_builds_matching_engine(self):
+        assert isinstance(
+            SignalTracker(TrackerConfig(engine="scalar")).engine,
+            ScalarTrackingEngine,
+        )
+        assert isinstance(
+            SignalTracker(TrackerConfig(engine="plane")).engine, TrackingPlane
+        )
+
+    def test_explicit_engine_instance_wins(self):
+        config = TrackerConfig()
+        plane = TrackingPlane(config)
+        assert SignalTracker(config, engine=plane).engine is plane
+
+
+class TestShortSliceRemoval:
+    """Satellite: short slices are retired with a *defined* last_area."""
+
+    @pytest.mark.parametrize("engine", ["scalar", "plane"])
+    def test_short_slice_removed_with_inf_area(self, engine):
+        short = SignalSlice(
+            data=np.ones(10), label=AnomalyType.SEIZURE, slice_id="short"
+        )
+        tracker = SignalTracker(TrackerConfig(engine=engine))
+        tracker.load([SearchMatch(sig_slice=short, omega=0.9, offset=0)])
+        step = tracker.step(np.zeros(256))
+        assert step.removed == 1
+        assert step.area_evaluations == 0
+        assert tracker.tracked_count == 0
+        assert step.removed_signals[0].last_area == float("inf")
+
+    def test_fleet_short_slice_removed_with_inf_area(self):
+        short = SignalSlice(
+            data=np.ones(10), label=AnomalyType.NONE, slice_id="short"
+        )
+        fleet = FleetTracker()
+        fleet.open_session("s", [SearchMatch(sig_slice=short, omega=0.9, offset=0)])
+        step = fleet.step({"s": np.zeros(256)})["s"]
+        assert step.removed == 1
+        assert step.area_evaluations == 0
+        assert step.removed_signals[0].last_area == float("inf")
+        assert fleet.unique_slices == 0  # reference released on removal
+
+
+class TestCompiledSliceWindows:
+    def test_short_slice_compiles_to_none(self):
+        assert compile_slice_windows(np.ones(10), 256, 4, 7.0) is None
+
+    def test_raw_mode_windows_match_strided_view(self):
+        rng = np.random.default_rng(5)
+        data = rng.standard_normal(500)
+        compiled = compile_slice_windows(data, 256, 4, None)
+        assert compiled is not None
+        expected = np.stack(
+            [data[k * 4 : k * 4 + 256] for k in range(compiled.n_offsets)]
+        )
+        np.testing.assert_array_equal(compiled.windows, expected)
+        assert not compiled.flat.any()
+
+
+class TestTrackingPlaneMechanics:
+    def test_load_compiles_once(self):
+        plane = TrackingPlane(TrackerConfig())
+        tracker = SignalTracker(TrackerConfig(engine="plane"), engine=plane)
+        matches = _random_matches(0, n=12)
+        tracker.load(matches)
+        assert plane.compiles == 1
+        assert plane.compiled_candidates == 12
+        assert plane.alive_count == 12
+        assert plane.nbytes > 0
+        assert plane.kernel in ("c", "numpy")
+        for frame in _frames(0, 3):
+            tracker.step(frame)
+        assert plane.compiles == 1  # steps never recompile
+
+    def test_mass_removal_triggers_compaction(self):
+        plane = TrackingPlane(TrackerConfig(area_threshold=1e-6))
+        tracker = SignalTracker(
+            TrackerConfig(engine="plane", area_threshold=1e-6), engine=plane
+        )
+        tracker.load(_random_matches(1, n=10, short_every=0, flat_every=0))
+        step = tracker.step(_frames(1, 1)[0])
+        assert step.removed == 10
+        assert plane.compactions == 1
+        assert plane.compiled_candidates == 0
+        # Further steps on the emptied plane are harmless no-ops.
+        empty = tracker.step(_frames(1, 2)[1])
+        assert empty.tracked_before == 0
+        assert empty.area_evaluations == 0
+
+    def test_partial_removal_keeps_tensor_until_threshold(self):
+        matches = _random_matches(2, n=8, short_every=0, flat_every=0)
+        # Plant one candidate whose best area is enormous: scale it away
+        # from the reference shape by zeroing (raw mode keeps scale).
+        config = TrackerConfig(
+            engine="plane", reference_rms=None, area_threshold=1e4
+        )
+        plane = TrackingPlane(config)
+        tracker = SignalTracker(config, engine=plane)
+        tracker.load(matches)
+        frame = matches[0].sig_slice.data[:256]
+        step = tracker.step(frame)
+        # The self-matching candidate survives with area exactly 0.
+        assert tracker.tracked_count >= 1
+        assert step.removed + tracker.tracked_count == 8
+        if tracker.tracked_count >= 4:
+            assert plane.compactions == 0
+
+
+class TestEngineEquivalence:
+    """Satellite: bit-identical TrackingStep sequences across engines."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        stride=st.sampled_from([1, 4, 7]),
+        normalized=st.booleans(),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_scalar_plane_fleet_identical(self, seed, stride, normalized):
+        overrides = {
+            "offset_stride": stride,
+            "reference_rms": 7.0 if normalized else None,
+            # Thresholds that actually exercise removal for each mode.
+            "area_threshold": 900.0 if normalized else 1800.0,
+        }
+        matches = _random_matches(seed)
+        frames = _frames(seed, 6)
+        scalar = _run_tracker("scalar", matches, frames, **overrides)
+        plane = _run_tracker("plane", matches, frames, **overrides)
+        fleet = _run_fleet(matches, frames, **overrides)
+        assert plane == scalar
+        assert fleet == scalar
+
+    def test_survivor_tracking_near_threshold(self):
+        """Steps where most candidates survive (self-similar frames)."""
+        matches = _random_matches(11, n=16, short_every=0)
+        rng = np.random.default_rng(11)
+        frames = [
+            matches[int(rng.integers(0, len(matches)))].sig_slice.data[:256]
+            + rng.standard_normal(256) * 2.0
+            for _ in range(8)
+        ]
+        scalar = _run_tracker("scalar", matches, frames)
+        plane = _run_tracker("plane", matches, frames)
+        assert plane == scalar
+
+
+class TestFleetMechanics:
+    def test_shared_slices_compiled_once(self):
+        matches = _random_matches(20, n=10, short_every=0)
+        fleet = FleetTracker()
+        fleet.open_session("a", matches)
+        fleet.open_session("b", matches)
+        assert fleet.session_count == 2
+        assert fleet.unique_slices == 10
+        assert fleet.tracked_references == 20
+        assert fleet.dedup_ratio == pytest.approx(2.0)
+        assert fleet.cache_misses == 10
+        assert fleet.cache_hits == 10
+        # Shared bytes: the same compiled windows serve both sessions.
+        single = FleetTracker()
+        single.open_session("only", matches)
+        assert fleet.compiled_bytes == single.compiled_bytes
+
+    def test_close_session_releases_references(self):
+        matches = _random_matches(21, n=6, short_every=0)
+        fleet = FleetTracker()
+        fleet.open_session("a", matches)
+        fleet.open_session("b", matches)
+        fleet.close_session("a")
+        assert fleet.unique_slices == 6  # still referenced by "b"
+        fleet.close_session("b")
+        assert fleet.unique_slices == 0
+        assert fleet.session_count == 0
+
+    def test_reopen_restarts_iterations(self):
+        matches = _random_matches(22, n=4, short_every=0)
+        fleet = FleetTracker(TrackerConfig(area_threshold=1e9))
+        fleet.open_session("a", matches)
+        fleet.step({"a": np.zeros(256)})
+        fleet.open_session("a", matches)
+        step = fleet.step({"a": np.zeros(256)})["a"]
+        assert step.iteration == 1
+        assert fleet.unique_slices == 4  # no duplicate cache entries
+
+    def test_unknown_session_rejected(self):
+        fleet = FleetTracker()
+        with pytest.raises(TrackingError, match="unknown fleet session"):
+            fleet.step({"ghost": np.zeros(256)})
+        with pytest.raises(TrackingError, match="unknown fleet session"):
+            fleet.close_session("ghost")
+
+    def test_bad_frame_rejected_before_any_session_steps(self):
+        matches = _random_matches(23, n=4, short_every=0)
+        fleet = FleetTracker()
+        fleet.open_session("a", matches)
+        fleet.open_session("b", matches)
+        with pytest.raises(TrackingError, match="256 samples"):
+            fleet.step({"a": np.zeros(256), "b": np.zeros(13)})
+        # Validation happens up front: session "a" did not advance.
+        assert fleet.step({"a": np.zeros(256)})["a"].iteration == 1
+
+    def test_absent_sessions_do_not_advance(self):
+        matches = _random_matches(24, n=4, short_every=0)
+        fleet = FleetTracker(TrackerConfig(area_threshold=1e9))
+        fleet.open_session("a", matches)
+        fleet.open_session("b", matches)
+        fleet.step({"a": np.zeros(256)})
+        steps = fleet.step({"a": np.zeros(256), "b": np.zeros(256)})
+        assert steps["a"].iteration == 2
+        assert steps["b"].iteration == 1
+
+    def test_empty_slice_id_not_shared_but_correct(self):
+        rng = np.random.default_rng(25)
+        data = rng.standard_normal(1000) * 7
+        anon = SignalSlice(data=data, label=AnomalyType.NONE)  # slice_id=""
+        matches = [
+            SearchMatch(sig_slice=anon, omega=0.9, offset=0) for _ in range(3)
+        ]
+        fleet = FleetTracker(TrackerConfig(area_threshold=1e9))
+        fleet.open_session("a", matches)
+        assert fleet.unique_slices == 3  # compiled privately, not merged
+        step = fleet.step({"a": rng.standard_normal(256) * 7})["a"]
+        assert step.tracked_before == 3
+
+
+class TestRuntimeIntegration:
+    """Plane mode flows through the streaming monitor unchanged."""
+
+    def test_streaming_monitor_identical_across_engines(self, mdb_slices):
+        recording = EEGGenerator(seed=77).record(8.0)
+        traces = {}
+        for engine in ("scalar", "plane"):
+            monitor = StreamingMonitor(
+                CloudServer(mdb_slices),
+                StreamingConfig(tracker=TrackerConfig(engine=engine)),
+            )
+            monitor.push(recording.data)
+            traces[engine] = [
+                (
+                    u.frame_index,
+                    u.anomaly_probability,
+                    u.tracked_count,
+                    u.anomaly_predicted,
+                    u.cloud_call_issued,
+                    u.tracking_active,
+                )
+                for u in monitor.updates
+            ]
+        assert traces["plane"] == traces["scalar"]

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.cloud.server import CloudServer
-from repro.errors import SignalError
+from repro.errors import FrameworkError, SignalError
 from repro.runtime.framework import EMAPFramework
 from repro.runtime.streaming import StreamingConfig, StreamingMonitor
 from repro.runtime.timing import DeviceCostModel, TimingModel
@@ -66,6 +66,70 @@ class TestPushMechanics:
         assert [u.anomaly_probability for u in first] == [
             u.anomaly_probability for u in second
         ]
+
+
+class TestChunkBuffering:
+    """Regression: buffering is chunk-accumulating, not O(n²) concat."""
+
+    def _trace(self, monitor):
+        return [
+            (
+                u.frame_index,
+                u.anomaly_probability,
+                u.tracked_count,
+                u.anomaly_predicted,
+                u.cloud_call_issued,
+                u.tracking_active,
+            )
+            for u in monitor.updates
+        ]
+
+    def test_many_small_chunks_emit_identical_updates(self, mdb_slices):
+        """Sample-at-a-time delivery must match one-shot delivery."""
+        recording = EEGGenerator(seed=31).record(6.0)
+        bulk = StreamingMonitor(CloudServer(mdb_slices))
+        bulk.push(recording.data)
+        trickle = StreamingMonitor(CloudServer(mdb_slices))
+        step = 7  # chunk size coprime to the frame size
+        for start in range(0, len(recording.data), step):
+            trickle.push(recording.data[start : start + step])
+        assert self._trace(trickle) == self._trace(bulk)
+        assert trickle.buffered_samples == len(recording.data) % 256
+
+    def test_buffered_samples_tracks_partial_frames(self, monitor):
+        recording = EEGGenerator(seed=32).record(2.0)
+        monitor.push(recording.data[:100])
+        assert monitor.buffered_samples == 100
+        monitor.push(recording.data[100:300])
+        assert monitor.buffered_samples == 300 - 256
+        monitor.reset()
+        assert monitor.buffered_samples == 0
+
+
+class TestUpdateRetention:
+    """Satellite: optional bound on the retained updates list."""
+
+    def test_unbounded_by_default(self, mdb_slices):
+        monitor = StreamingMonitor(CloudServer(mdb_slices))
+        recording = EEGGenerator(seed=33).record(6.0)
+        monitor.push(recording.data)
+        assert len(monitor.updates) == 6
+
+    def test_bounded_retention_keeps_newest(self, mdb_slices):
+        monitor = StreamingMonitor(
+            CloudServer(mdb_slices), StreamingConfig(max_retained_updates=3)
+        )
+        recording = EEGGenerator(seed=33).record(6.0)
+        emitted = []
+        for start in range(0, len(recording.data), 300):
+            emitted.extend(monitor.push(recording.data[start : start + 300]))
+        # push() still returns every update; only retention is bounded.
+        assert [u.frame_index for u in emitted] == list(range(6))
+        assert [u.frame_index for u in monitor.updates] == [3, 4, 5]
+
+    def test_rejects_non_positive_bound(self):
+        with pytest.raises(FrameworkError, match="max_retained_updates"):
+            StreamingConfig(max_retained_updates=0)
 
 
 class TestStreamingDetection:

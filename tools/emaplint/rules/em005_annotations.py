@@ -8,7 +8,12 @@ This rule is the in-repo, dependency-free enforcement of that contract
 
 Checked: module-level public functions and public methods (plus
 ``__init__``/``__call__``/``__new__``) defined in ``repro/cloud``,
-``repro/edge``, ``repro/runtime`` and ``repro/faults``.  Every
+``repro/edge``, ``repro/runtime`` and ``repro/faults``.  The edge
+scope deliberately covers the compiled tracking plane and fleet
+batcher (``repro/edge/plane.py``, ``repro/edge/fleet.py``, and the
+``repro/edge/_kernels.py`` public surface) — the per-step reduction is
+the hottest loop on the device, so its boundary types must stay
+exact.  Every
 parameter (except ``self``/``cls``) needs an annotation and the
 function needs a return annotation.  Nested helper closures and the
 remaining dunders (``__exit__``, ``__len__``, …) are exempt here —
