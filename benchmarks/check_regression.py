@@ -45,6 +45,25 @@ through the scalar per-candidate loop, the compiled
   candidates, or the fleet speedup below **2x** — both
   self-normalising ratios (all arms run on the same host).
 
+**Gateway gate** — serves the same concurrent request stream through a
+``max_batch=1`` gateway (solo walks) and the production coalescing
+gateway (``benchmarks/baselines/gateway_throughput.json``).  It fails
+when:
+
+* the two arms stop being **bit-identical** (matches or
+  ``correlations_evaluated`` diverge) — never acceptable;
+* ``correlations_per_request`` drifts from the baseline
+  (deterministic, so drift is an algorithmic change);
+* the coalescing speedup falls below the **0.75x floor** — coalescing
+  must never *meaningfully* cost throughput.  The coalescing win is
+  dispatch amortisation, so the measured ratio sits near 1x (0.9–1.3x
+  observed depending on MDB scale and host load); the floor catches a
+  regression that makes shared batch walks outright costly, and both
+  arms run best-of-rounds on the same host so the ratio is
+  self-normalising;
+* batches stop forming under concurrent load (mean batch size
+  collapses toward 1).
+
 Regenerate the baselines after an intentional change with::
 
     python benchmarks/check_regression.py --update
@@ -74,10 +93,18 @@ DEFAULT_PLANE_BASELINE = (
 DEFAULT_EDGE_PLANE_BASELINE = (
     REPO_ROOT / "benchmarks" / "baselines" / "edge_plane_throughput.json"
 )
+DEFAULT_GATEWAY_BASELINE = (
+    REPO_ROOT / "benchmarks" / "baselines" / "gateway_throughput.json"
+)
 DEFAULT_METRICS_OUT = REPO_ROOT / "benchmark_reports" / "fig7b_obs_metrics.json"
 DEFAULT_DB_SIZES = (500, 1000, 2000)
 PLANE_SPEEDUP_FLOOR = 3.0
 PLANE_N_QUERIES = 12
+GATEWAY_SPEEDUP_FLOOR = 0.75
+GATEWAY_N_REQUESTS = 96
+GATEWAY_CONCURRENCY = 32
+GATEWAY_ROUNDS = 3
+GATEWAY_MIN_MEAN_BATCH = GATEWAY_CONCURRENCY / 4
 EDGE_PLANE_SPEEDUP_FLOOR = 3.0
 EDGE_FLEET_SPEEDUP_FLOOR = 2.0
 EDGE_PLANE_CANDIDATES = 100
@@ -126,6 +153,20 @@ def run_edge_plane_benchmark(seed: int) -> dict:
         seed=seed,
     )
     return edge_plane_throughput.summarize(result, seed=seed)
+
+
+def run_gateway_benchmark(mdb_scale: float, seed: int) -> dict:
+    """One gateway-throughput run, summarised for baseline/compare."""
+    import gateway_throughput
+
+    fixture = build_fixture(mdb_scale=mdb_scale, seed=seed)
+    result = gateway_throughput.run_gateway_throughput(
+        fixture,
+        n_requests=GATEWAY_N_REQUESTS,
+        concurrency=GATEWAY_CONCURRENCY,
+        rounds=GATEWAY_ROUNDS,
+    )
+    return gateway_throughput.summarize(result, mdb_scale=mdb_scale, seed=seed)
 
 
 def relative_drift(current: float, baseline: float) -> float:
@@ -239,6 +280,37 @@ def compare_edge_plane(summary: dict, baseline: dict) -> list[str]:
     return failures
 
 
+def compare_gateway(summary: dict, baseline: dict) -> list[str]:
+    """Gate failures for the gateway-throughput bench (empty = pass)."""
+    failures: list[str] = []
+    if not summary["identical"]:
+        failures.append(
+            "gateway coalesced results diverged from solo walks — matches "
+            "or correlations_evaluated are no longer bit-identical"
+        )
+    if (
+        summary["correlations_per_request"]
+        != baseline["correlations_per_request"]
+    ):
+        failures.append(
+            "gateway correlations_per_request drifted from baseline — the "
+            "search is deterministic, so this is an algorithmic change"
+        )
+    if summary["speedup"] < GATEWAY_SPEEDUP_FLOOR:
+        failures.append(
+            f"gateway coalescing speedup {summary['speedup']:.2f}x fell "
+            f"below the {GATEWAY_SPEEDUP_FLOOR:.2f}x floor (baseline "
+            f"{baseline['speedup']:.2f}x) — coalescing now costs throughput"
+        )
+    if summary["mean_batch_size"] < GATEWAY_MIN_MEAN_BATCH:
+        failures.append(
+            f"gateway mean batch size {summary['mean_batch_size']:.1f} fell "
+            f"below {GATEWAY_MIN_MEAN_BATCH:.0f} at concurrency "
+            f"{summary['concurrency']} — requests stopped coalescing"
+        )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
@@ -259,6 +331,14 @@ def main(argv: list[str] | None = None) -> int:
         "--skip-edge-plane",
         action="store_true",
         help="skip the edge tracking-plane throughput gate",
+    )
+    parser.add_argument(
+        "--gateway-baseline", type=Path, default=DEFAULT_GATEWAY_BASELINE
+    )
+    parser.add_argument(
+        "--skip-gateway",
+        action="store_true",
+        help="skip the serving-gateway throughput gate",
     )
     parser.add_argument(
         "--update", action="store_true", help="rewrite the baseline and exit 0"
@@ -324,6 +404,19 @@ def main(argv: list[str] | None = None) -> int:
             )
         )
 
+    gateway_summary = None
+    if not args.skip_gateway:
+        gateway_summary = run_gateway_benchmark(args.mdb_scale, args.seed)
+        print(
+            "gateway: speedup {0:.2f}x (mean batch {1:.1f}, "
+            "{2} requests, identical={3})".format(
+                gateway_summary["speedup"],
+                gateway_summary["mean_batch_size"],
+                gateway_summary["n_requests"],
+                gateway_summary["identical"],
+            )
+        )
+
     if args.update:
         args.baseline.parent.mkdir(parents=True, exist_ok=True)
         args.baseline.write_text(json.dumps(summary, indent=2) + "\n")
@@ -340,6 +433,12 @@ def main(argv: list[str] | None = None) -> int:
                 json.dumps(edge_summary, indent=2) + "\n"
             )
             print(f"baseline updated: {args.edge_plane_baseline}")
+        if gateway_summary is not None:
+            args.gateway_baseline.parent.mkdir(parents=True, exist_ok=True)
+            args.gateway_baseline.write_text(
+                json.dumps(gateway_summary, indent=2) + "\n"
+            )
+            print(f"baseline updated: {args.gateway_baseline}")
         return 0
 
     missing = [
@@ -348,6 +447,7 @@ def main(argv: list[str] | None = None) -> int:
             [args.baseline]
             + ([args.plane_baseline] if plane_summary is not None else [])
             + ([args.edge_plane_baseline] if edge_summary is not None else [])
+            + ([args.gateway_baseline] if gateway_summary is not None else [])
         )
         if not path.exists()
     ]
@@ -367,6 +467,9 @@ def main(argv: list[str] | None = None) -> int:
     if edge_summary is not None:
         edge_baseline = json.loads(args.edge_plane_baseline.read_text())
         failures += compare_edge_plane(edge_summary, edge_baseline)
+    if gateway_summary is not None:
+        gateway_baseline = json.loads(args.gateway_baseline.read_text())
+        failures += compare_gateway(gateway_summary, gateway_baseline)
     if failures:
         print("benchmark regression gate FAILED:", file=sys.stderr)
         for failure in failures:
@@ -384,6 +487,12 @@ def main(argv: list[str] | None = None) -> int:
             f", {EDGE_PLANE_SPEEDUP_FLOOR:.0f}x edge floor vs "
             f"{args.edge_plane_baseline.name}"
             if edge_summary is not None
+            else ""
+        )
+        + (
+            f", {GATEWAY_SPEEDUP_FLOOR:.2f}x gateway floor vs "
+            f"{args.gateway_baseline.name}"
+            if gateway_summary is not None
             else ""
         )
         + ")"

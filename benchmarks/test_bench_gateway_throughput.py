@@ -1,0 +1,41 @@
+"""Bench: gateway serving throughput, coalesced vs solo batch walks.
+
+The acceptance bar for the serving gateway: coalescing concurrent
+requests into shared batch walks must never *meaningfully* cost
+throughput versus dispatching each request as its own walk, batches
+actually form under concurrent load, and every answer stays
+bit-identical either way.  The harness takes best-of-``ROUNDS`` per
+arm, so one scheduler hiccup cannot flip the ratio.
+"""
+
+import gateway_throughput
+
+N_REQUESTS = 96
+CONCURRENCY = 32
+ROUNDS = 3
+# The coalescing win is dispatch amortisation, so the ratio sits near
+# 1x (0.9-1.3x observed across MDB scales and host load).  The floor
+# catches a regression that makes shared batch walks outright costly;
+# both arms run on the same host so the ratio is self-normalising.
+SPEEDUP_FLOOR = 0.75
+
+
+def test_bench_gateway_throughput(benchmark, fixture, save_report):
+    result = benchmark.pedantic(
+        gateway_throughput.run_gateway_throughput,
+        kwargs={
+            "fixture": fixture,
+            "n_requests": N_REQUESTS,
+            "concurrency": CONCURRENCY,
+            "rounds": ROUNDS,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    save_report("gateway_throughput", result.report())
+    assert result.identical  # coalescing must not change any result
+    assert result.speedup >= SPEEDUP_FLOOR
+    # Concurrent waves must genuinely share batch walks.
+    assert result.mean_batch_size > CONCURRENCY / 4
+    assert len(result.correlations_per_request) == N_REQUESTS
+    assert all(count > 0 for count in result.correlations_per_request)

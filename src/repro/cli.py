@@ -13,6 +13,8 @@
     emap table1 [--batches 2 --batch-size 5]
     emap monitor --kind seizure --duration 60
     emap obs [--json] [--duration 40] [--profile]
+    emap serve [--sessions 200] [--tenants 8] [--fault-tenant tenant-0]
+    emap serve --soak
 
 Every experiment prints the same rows/series the paper's corresponding
 table or figure reports.
@@ -127,6 +129,84 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=96,
         help="raw samples per streaming push (exercises partial frames)",
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="drive a simulated session fleet through the multi-tenant "
+        "serving gateway (coalesced batch search)",
+    )
+    serve.add_argument("--sessions", type=int, default=200)
+    serve.add_argument("--tenants", type=int, default=8)
+    serve.add_argument(
+        "--mean-requests",
+        type=float,
+        default=4.0,
+        help="mean requests per session (seeded Poisson, minimum 1)",
+    )
+    serve.add_argument(
+        "--think-time",
+        type=float,
+        default=1.0,
+        help="simulated seconds between a session's requests",
+    )
+    serve.add_argument(
+        "--horizon",
+        type=float,
+        default=5.0,
+        help="sessions arrive uniformly over this many simulated seconds",
+    )
+    serve.add_argument(
+        "--time-scale",
+        type=float,
+        default=0.0,
+        help="wall seconds per simulated second (0 = as fast as possible)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=16,
+        help="largest coalesced search batch the gateway dispatches",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=256,
+        help="per-tenant queue bound (admission control rejects beyond it)",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=2048,
+        help="gateway-wide pending bound (global backpressure)",
+    )
+    serve.add_argument("--frames", type=int, default=32)
+    serve.add_argument("--mdb-scale", type=float, default=0.15)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--fault-tenant",
+        default=None,
+        help="inject a generated fault plan into this tenant only",
+    )
+    serve.add_argument("--fault-rate", type=float, default=0.35)
+    serve.add_argument("--fault-seed", type=int, default=13)
+    serve.add_argument(
+        "--p99-budget",
+        type=float,
+        default=None,
+        help="soak gate: wall-clock p99 latency ceiling in seconds "
+        "(default: the SoakConfig tripwire)",
+    )
+    serve.add_argument(
+        "--soak",
+        action="store_true",
+        help="run the soak health gate (chaos on one tenant, hard "
+        "invariants on the outcome); exit code 1 on any violation",
+    )
+    serve.add_argument(
+        "--obs",
+        action="store_true",
+        help="append the collected gateway.* metrics report",
     )
     return parser
 
@@ -331,6 +411,90 @@ def _cmd_obs(args: argparse.Namespace) -> str:
     return header + obs.format_report(document)
 
 
+def _cmd_serve(args: argparse.Namespace) -> str | tuple[str, int]:
+    """Fleet (or soak-gate) run through the serving gateway."""
+    from repro import obs
+    from repro.gateway import FleetConfig, GatewayConfig
+
+    obs.reset()
+    obs.enable()
+    fleet_config = FleetConfig(
+        n_sessions=args.sessions,
+        n_tenants=args.tenants,
+        mean_requests_per_session=args.mean_requests,
+        think_time_s=args.think_time,
+        arrival_horizon_s=args.horizon,
+        time_scale=args.time_scale,
+        seed=args.seed,
+    )
+    gateway_config = GatewayConfig(
+        max_batch=args.max_batch,
+        max_queue_per_tenant=args.max_queue,
+        max_pending=args.max_pending,
+    )
+    if args.soak:
+        from repro.gateway import SoakConfig, run_soak
+
+        overrides = (
+            {} if args.p99_budget is None
+            else {"max_p99_latency_s": args.p99_budget}
+        )
+        soak = run_soak(
+            SoakConfig(
+                mdb_scale=args.mdb_scale,
+                fleet=fleet_config,
+                gateway=gateway_config,
+                fault_seed=args.fault_seed,
+                fault_rate=args.fault_rate,
+                n_frames=args.frames,
+                seed=args.seed,
+                **overrides,
+            )
+        )
+        output = soak.report()
+        if args.obs:
+            output += "\n\n" + obs.format_report(obs.export())
+        return output if soak.passed else (output, 1)
+
+    from repro.cloud.server import CloudServer
+    from repro.eval.experiments.common import build_fixture
+    from repro.gateway import build_frame_pool, run_fleet
+
+    fixture = build_fixture(mdb_scale=args.mdb_scale, seed=args.seed)
+    server = CloudServer(fixture.slices)
+    try:
+        frames = build_frame_pool(
+            fixture.slices, n_frames=args.frames, seed=args.seed
+        )
+        tenant_plans = None
+        if args.fault_tenant is not None:
+            from repro.faults.plan import FaultPlan
+
+            per_tenant_calls = (
+                args.sessions / max(1, args.tenants) * args.mean_requests
+            )
+            tenant_plans = {
+                args.fault_tenant: FaultPlan.generate(
+                    seed=args.fault_seed,
+                    horizon_calls=max(10, int(per_tenant_calls * 4)),
+                    fault_rate=args.fault_rate,
+                )
+            }
+        report = run_fleet(
+            server, frames, fleet_config, gateway_config, tenant_plans
+        )
+    finally:
+        server.close()
+    header = (
+        f"fleet: {args.sessions} sessions over {args.tenants} tenant(s) "
+        f"(MDB: {len(fixture.mdb)} signal-sets, max batch {args.max_batch})\n"
+    )
+    output = header + report.report()
+    if args.obs:
+        output += "\n\n" + obs.format_report(obs.export())
+    return output
+
+
 _COMMANDS: dict[str, Callable] = {
     "list": _cmd_list,
     "fig2": _cmd_fig2,
@@ -345,13 +509,23 @@ _COMMANDS: dict[str, Callable] = {
     "table1": _cmd_table1,
     "monitor": _cmd_monitor,
     "obs": _cmd_obs,
+    "serve": _cmd_serve,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Commands return either the report text (exit 0) or a
+    ``(text, exit_code)`` pair — ``emap serve --soak`` uses the latter
+    so CI fails on a violated soak gate.
+    """
     args = _build_parser().parse_args(argv)
     output = _COMMANDS[args.command](args)
+    if isinstance(output, tuple):
+        text, code = output
+        print(text)
+        return code
     print(output)
     return 0
 

@@ -175,6 +175,153 @@ def validate_payload(result: SearchResult, frame_samples: int) -> None:
             )
 
 
+class ResilientCallDriver:
+    """Sans-I/O state machine for ONE resilient cloud call.
+
+    Owns every semantic of the call — breaker gating, retry budget,
+    backoff penalties, deadline and payload checks, breaker
+    transitions — while leaving the *transport* (how an attempt
+    actually reaches the endpoint) to the caller.  The synchronous
+    :meth:`ResilientCloudClient.call` and the serving gateway's async
+    per-tenant path both drive this exact machine, which is what keeps
+    their deadline/retry/circuit-breaker behaviour identical.
+
+    Protocol::
+
+        driver = ResilientCallDriver(client, frame, now_s)
+        while driver.begin_attempt():
+            try:
+                result, breakdown = <one endpoint attempt>
+            except EMAPError as error:
+                driver.record_error(error)
+            else:
+                driver.record_response(result, breakdown)
+        outcome = driver.outcome
+
+    ``begin_attempt`` returns ``False`` once the call has concluded —
+    either a success was recorded, the breaker fast-failed the call, or
+    the attempt budget ran dry (concluding drives the breaker state
+    machine exactly as the previous inline loop did).
+    """
+
+    def __init__(
+        self,
+        client: ResilientCloudClient,
+        frame: Frame | np.ndarray,
+        now_s: float,
+    ) -> None:
+        self._client = client
+        self._now_s = now_s
+        self._frame_samples = client._frame_samples(frame)
+        self._transitions: list[BreakerState] = []
+        self._penalty_s = 0.0
+        self._failure: str | None = None
+        self._attempts_started = 0
+        self.outcome: CloudCallOutcome | None = None
+
+        client.calls += 1
+        if client._state is BreakerState.OPEN:
+            if now_s - client._opened_at_s >= client.config.breaker_cooldown_s:
+                client._transition(BreakerState.HALF_OPEN, self._transitions)
+            else:
+                client.fast_failures += 1
+                client._record_counter("cloud.client.fast_fails")
+                self.outcome = client._failure_outcome(
+                    attempts=0, penalty_s=0.0, failure="breaker_open",
+                    transitions=self._transitions,
+                )
+        # A half-open breaker grants exactly one probe attempt.
+        self._budget = (
+            1
+            if client._state is BreakerState.HALF_OPEN
+            else client.config.max_retries + 1
+        )
+
+    def begin_attempt(self) -> bool:
+        """Start the next attempt; ``False`` once the call concluded.
+
+        Starting a retry (any attempt after the first) draws its seeded
+        backoff and adds it to the simulated penalty.  When the budget
+        is exhausted this concludes the call as a failure, driving the
+        breaker exactly like the synchronous path always has.
+        """
+        if self.outcome is not None:
+            return False
+        if self._attempts_started >= self._budget:
+            self._conclude_failure()
+            return False
+        if self._attempts_started > 0:
+            client = self._client
+            self._penalty_s += client._backoff_s(self._attempts_started - 1)
+            client.retries_total += 1
+            client._record_counter("cloud.client.retries")
+        self._attempts_started += 1
+        return True
+
+    def record_error(self, error: EMAPError) -> None:
+        """The in-flight attempt raised; classify and move on."""
+        self._failure = self._client._classify(error)
+
+    def record_response(
+        self, result: SearchResult, breakdown: TimingBreakdown
+    ) -> None:
+        """The in-flight attempt returned a payload; judge it.
+
+        A response past the deadline or failing payload validation
+        counts as a failed attempt (with its simulated penalty); an
+        accepted one concludes the call as a success and closes the
+        breaker.
+        """
+        client = self._client
+        if breakdown.initial_s > client.config.deadline_s:
+            self._failure = "timeout"
+            self._penalty_s += client.config.deadline_s
+            client.timeouts_total += 1
+            client._record_counter("cloud.client.timeouts")
+            return
+        if client.config.validate_payloads:
+            try:
+                validate_payload(result, self._frame_samples)
+            except PayloadError as error:
+                self._failure = client._classify(error)
+                self._penalty_s += breakdown.initial_s
+                return
+        client.successes += 1
+        if client._state is not BreakerState.CLOSED:
+            client._transition(BreakerState.CLOSED, self._transitions)
+        client._consecutive_failures = 0
+        self.outcome = CloudCallOutcome(
+            ok=True,
+            result=result,
+            breakdown=breakdown,
+            attempts=self._attempts_started,
+            retries=self._attempts_started - 1,
+            penalty_s=self._penalty_s,
+            failure=None,
+            breaker_state=client._state,
+            transitions=tuple(self._transitions),
+        )
+
+    def _conclude_failure(self) -> None:
+        """Every attempt failed: drive the breaker state machine."""
+        client = self._client
+        if client._state is BreakerState.HALF_OPEN:
+            client._open(self._now_s, self._transitions)
+        else:
+            client._consecutive_failures += 1
+            if (
+                client._consecutive_failures
+                >= client.config.breaker_failure_threshold
+            ):
+                client._open(self._now_s, self._transitions)
+        self.outcome = client._failure_outcome(
+            attempts=self._budget,
+            penalty_s=self._penalty_s,
+            failure=self._failure,
+            transitions=self._transitions,
+        )
+
+
 class ResilientCloudClient:
     """Deadline + retry + circuit-breaker wrapper over a cloud endpoint."""
 
@@ -207,78 +354,18 @@ class ResilientCloudClient:
 
     def call(self, frame: Frame | np.ndarray, now_s: float) -> CloudCallOutcome:
         """One resilient cloud call at simulated instant ``now_s``."""
-        self.calls += 1
-        transitions: list[BreakerState] = []
-
-        if self._state is BreakerState.OPEN:
-            if now_s - self._opened_at_s >= self.config.breaker_cooldown_s:
-                self._transition(BreakerState.HALF_OPEN, transitions)
-            else:
-                self.fast_failures += 1
-                self._record_counter("cloud.client.fast_fails")
-                return self._failure_outcome(
-                    attempts=0, penalty_s=0.0, failure="breaker_open",
-                    transitions=transitions,
-                )
-
-        # A half-open breaker grants exactly one probe attempt.
-        budget = 1 if self._state is BreakerState.HALF_OPEN else self.config.max_retries + 1
-        frame_samples = self._frame_samples(frame)
-        penalty_s = 0.0
-        failure: str | None = None
-
-        for attempt in range(budget):
-            if attempt > 0:
-                backoff = self._backoff_s(attempt - 1)
-                penalty_s += backoff
-                self.retries_total += 1
-                self._record_counter("cloud.client.retries")
+        driver = ResilientCallDriver(self, frame, now_s)
+        while driver.begin_attempt():
             try:
                 result, breakdown = self.endpoint.handle_frame(frame)
             except EMAPError as error:
-                failure = self._classify(error)
-                continue
-            if breakdown.initial_s > self.config.deadline_s:
-                failure = "timeout"
-                penalty_s += self.config.deadline_s
-                self.timeouts_total += 1
-                self._record_counter("cloud.client.timeouts")
-                continue
-            if self.config.validate_payloads:
-                try:
-                    validate_payload(result, frame_samples)
-                except PayloadError as error:
-                    failure = self._classify(error)
-                    penalty_s += breakdown.initial_s
-                    continue
-            # Success: close the breaker and hand the result back.
-            self.successes += 1
-            if self._state is not BreakerState.CLOSED:
-                self._transition(BreakerState.CLOSED, transitions)
-            self._consecutive_failures = 0
-            return CloudCallOutcome(
-                ok=True,
-                result=result,
-                breakdown=breakdown,
-                attempts=attempt + 1,
-                retries=attempt,
-                penalty_s=penalty_s,
-                failure=None,
-                breaker_state=self._state,
-                transitions=tuple(transitions),
-            )
-
-        # Every attempt failed: drive the breaker state machine.
-        if self._state is BreakerState.HALF_OPEN:
-            self._open(now_s, transitions)
-        else:
-            self._consecutive_failures += 1
-            if self._consecutive_failures >= self.config.breaker_failure_threshold:
-                self._open(now_s, transitions)
-        return self._failure_outcome(
-            attempts=budget, penalty_s=penalty_s, failure=failure,
-            transitions=transitions,
-        )
+                driver.record_error(error)
+            else:
+                driver.record_response(result, breakdown)
+        outcome = driver.outcome
+        if outcome is None:  # unreachable: begin_attempt()==False implies it
+            raise FrameworkError("resilient call ended without an outcome")
+        return outcome
 
     # -- internals -----------------------------------------------------
 

@@ -343,12 +343,27 @@ class PlaneWalker:
             # collapses to one clip into [0, 1].
             self._clamped = np.clip(values, 0.0, 1.0, out=values)
         self._nxt = None
-        if self._step is None:
-            table = getattr(policy, "skip_table", None)
+
+    @property
+    def total_positions(self) -> int:
+        """Size of this walker's concatenated correlation layout."""
+        return int(self._clamped.size)
+
+    def _ensure_successors(self) -> np.ndarray | None:
+        """Build (once) ``nxt[o] = o + skip(ω_o)`` over the layout.
+
+        Only the single-query walk materialises the table; the joint
+        multi-query walk evaluates skips lazily per round instead, so
+        batched queries never pay this full-layout pass.  Returns
+        ``None`` for policies without a vectorised ``skip_table``.
+        """
+        if self._nxt is None and self._step is None:
+            table = getattr(self._policy, "skip_table", None)
             if table is not None:
                 nxt = table(self._clamped)
-                nxt += np.arange(total, dtype=np.int64)
+                nxt += np.arange(self.total_positions, dtype=np.int64)
                 self._nxt = nxt
+        return self._nxt
 
     def walk_all(self) -> tuple[list[tuple[int, float, int]], int, int]:
         """Replay every slice's walk over the compiled layout.
@@ -361,18 +376,20 @@ class PlaneWalker:
         """
         if self._step is not None:
             return self._walk_all_strided()
-        if self._nxt is None:  # policy without a vectorised skip table
+        if self._ensure_successors() is None:  # no vectorised skip table
             return self._walk_all_replay()
-        return self._walk_all_batched()
+        return self.classify_visited(self._visit_positions())
 
-    def _walk_all_batched(self) -> tuple[list[tuple[int, float, int]], int, int]:
+    def _visit_positions(self) -> np.ndarray:
         """Level-synchronous walk over all slices at once.
 
         Each round gathers the successor of every still-walking slice's
         position in one vectorised ``take``; finished slices drop out.
         The visited set is identical to running the scalar walk per
         slice because each hop depends only on the (precomputed)
-        correlation at the current offset.
+        correlation at the current offset.  Positions are returned in
+        round-major order; :meth:`classify_visited` does not depend on
+        the order.
         """
         starts = self._starts
         live = starts < self._stops
@@ -394,9 +411,23 @@ class PlaneWalker:
                     position = int(nxt[position])
             buf.append(np.asarray(tail, dtype=np.int64))
         if not buf:
-            return [], 0, 0
-        visited = np.concatenate(buf)
+            return np.zeros(0, dtype=np.int64)
+        return np.concatenate(buf)
+
+    def classify_visited(
+        self, visited: np.ndarray
+    ) -> tuple[list[tuple[int, float, int]], int, int]:
+        """Threshold + dedupe + scan-order restore over visited positions.
+
+        Pure function of the visited set (order-insensitive): both the
+        single-query walk and the multi-query joint walk feed it, which
+        is what keeps gateway-batched results bit-identical to the
+        per-request path.
+        """
         evaluated = int(visited.size)
+        if not evaluated:
+            return [], 0, 0
+        starts = self._starts
         values = self._clamped.take(visited)
         above_mask = values > self._delta
         above = int(np.count_nonzero(above_mask))
@@ -502,6 +533,104 @@ class PlaneWalker:
                 (index, omega, offset) for omega, offset in slice_hits
             )
         return hits, evaluated, above
+
+
+#: Stacked-layout size (positions) beyond which the joint multi-query
+#: walk loses its cache locality — each round's gather then touches a
+#: working set far larger than L3 and DRAM latency eats the round
+#: amortisation, so ``search_batch`` falls back to per-query walks
+#: (still vectorised, each over an L2-resident layout).  8M positions
+#: ≈ 64 MB of stacked float64 correlations.
+_JOINT_POSITION_BUDGET = 1 << 23
+
+
+def _joint_visit(walkers: Sequence[PlaneWalker]) -> list[np.ndarray]:
+    """Run every walker's skip walk in ONE level-synchronous loop.
+
+    The per-query correlation layouts are stacked into a single virtual
+    layout (query ``q``'s position ``o`` becomes ``base_q + o``) and
+    each round advances *every* still-walking slice of *every* query
+    with one vectorised gather of the correlations at the current
+    positions — this is the cross-request coalescing the serving
+    gateway batches on.  Skips are evaluated **lazily** on each round's
+    gathered ω values (``policy.skip_table`` on a round-sized array),
+    so batched queries never build the full per-layout successor table
+    the single-query walk materialises — the per-round vector ops are
+    amortised across the whole batch instead.
+
+    Returns each walker's visited positions (local coordinates).  The
+    visited sets are identical to walking each query alone: a hop
+    depends only on that query's precomputed correlation at the current
+    offset, and ``skip_table`` applied to any subset of ω values is the
+    same elementwise IEEE-754 computation.
+
+    Every walker must share one policy exposing ``skip_table`` (the
+    caller routes fixed-step and table-less policies to the per-query
+    paths instead).
+    """
+    policy = walkers[0]._policy
+    table = getattr(policy, "skip_table", None)
+    if table is None:
+        raise SearchError("joint walk needs a policy with a skip table")
+    bases: list[int] = []
+    starts_parts: list[np.ndarray] = []
+    stops_parts: list[np.ndarray] = []
+    base = 0
+    for walker in walkers:
+        bases.append(base)
+        starts_parts.append(walker._starts + base)
+        stops_parts.append(walker._stops + base)
+        base += walker.total_positions
+    values = np.concatenate([walker._clamped for walker in walkers])
+    starts = np.concatenate(starts_parts)
+    stops = np.concatenate(stops_parts)
+    live = starts < stops
+    pos = starts[live]
+    stop = stops[live]
+    buf: list[np.ndarray] = []
+    while pos.size > PlaneWalker._STRAGGLER_CUTOFF:
+        buf.append(pos)
+        pos = pos + table(values.take(pos))
+        alive = pos < stop
+        pos = pos[alive]
+        stop = stop[alive]
+    tail_parts: list[list[int]] = [[] for _ in walkers]
+    if pos.size:
+        boundaries = np.asarray(bases[1:] + [base], dtype=np.int64)
+        owners = np.searchsorted(boundaries, pos, side="right")
+        skip = policy.skip
+        for position, bound, owner in zip(
+            pos.tolist(), stop.tolist(), owners.tolist()
+        ):
+            part = tail_parts[owner]
+            while position < bound:
+                part.append(position)
+                position += skip(float(values[position]))
+    # Attribute each round's positions back to their queries.  Within a
+    # round the positions are strictly ascending (every slice stays
+    # inside its own disjoint layout interval), so one ``searchsorted``
+    # against the layout bases splits the whole round — no per-query
+    # mask over the full visited set.
+    cuts = np.asarray(bases + [base], dtype=np.int64)
+    per_query: list[list[np.ndarray]] = [[] for _ in walkers]
+    for round_pos in buf:
+        edges = np.searchsorted(round_pos, cuts, side="left")
+        for index in range(len(walkers)):
+            begin, end = int(edges[index]), int(edges[index + 1])
+            if end > begin:
+                per_query[index].append(round_pos[begin:end])
+    out: list[np.ndarray] = []
+    for index, walker_base in enumerate(bases):
+        parts = per_query[index]
+        if tail_parts[index]:
+            parts.append(np.asarray(tail_parts[index], dtype=np.int64))
+        if not parts:
+            out.append(np.zeros(0, dtype=np.int64))
+        elif walker_base:
+            out.append(np.concatenate(parts) - walker_base)
+        else:
+            out.append(np.concatenate(parts))
+    return out
 
 
 class ScalarWindowEvaluator:
@@ -639,6 +768,82 @@ class CorrelationSearch:
                 )
         self._finish(result, top, span)
         return result
+
+    def search_batch(
+        self, frames: Sequence[np.ndarray], plane: SearchPlane
+    ) -> list[SearchResult]:
+        """Serve many queries over one compiled plane in a single walk.
+
+        The per-query vectorised preparation (dots, normalisation,
+        successor tables) still runs once per frame — it depends on the
+        query — but the skip walks of *all* queries advance together in
+        one level-synchronous loop (:func:`_joint_visit`), so the
+        per-round vector-op overhead is paid once per batch instead of
+        once per request.  Each returned :class:`SearchResult` is
+        bit-identical to :meth:`search_plane` over the same frame:
+        identical matches, offsets, ω values and statistics.
+
+        Policies without a successor table (no ``step``/``skip_table``)
+        fall back to independent per-query walks.
+        """
+        if not frames:
+            return []
+        prepared = [self.prepare_query(frame) for frame in frames]
+        cache = plane.ensure_norms(self.config.frame_samples)
+        results: list[SearchResult] = []
+        tops: list[TopK[SearchMatch]] = []
+        with obs.trace.span("cloud.search_batch", queries=len(frames)) as span:
+            walkers = [
+                PlaneWalker(
+                    plane.core,
+                    centered,
+                    norm,
+                    cache,
+                    self.policy,
+                    self.config.delta,
+                    self.config.dedupe_per_slice,
+                )
+                for centered, norm in prepared
+            ]
+            stacked = sum(walker.total_positions for walker in walkers)
+            if (
+                len(walkers) > 1
+                and stacked <= _JOINT_POSITION_BUDGET
+                and getattr(self.policy, "step", None) is None
+                and getattr(self.policy, "skip_table", None) is not None
+            ):
+                visited = _joint_visit(walkers)
+                walked = [
+                    walker.classify_visited(positions)
+                    for walker, positions in zip(walkers, visited)
+                ]
+            else:
+                walked = [walker.walk_all() for walker in walkers]
+            slices = plane.slices
+            for hits, evaluated, above in walked:
+                result = SearchResult()
+                result.slices_searched = plane.n_slices
+                result.correlations_evaluated = evaluated
+                result.candidates_above_threshold = above
+                top: TopK[SearchMatch] = TopK(self.config.top_k)
+                for index, omega, offset in hits:
+                    top.offer(
+                        omega,
+                        SearchMatch(
+                            sig_slice=slices[index],
+                            omega=omega,
+                            offset=offset,
+                        ),
+                    )
+                results.append(result)
+                tops.append(top)
+        for result, top in zip(results, tops):
+            self._finish(result, top, span)
+        registry = obs.metrics()
+        if registry.enabled:
+            registry.inc("cloud.search.batches")
+            registry.observe("cloud.search.batch_size", float(len(frames)))
+        return results
 
     def _finish(
         self, result: SearchResult, top: TopK[SearchMatch], span: Span

@@ -98,15 +98,75 @@ class CloudServer:
                 n_signals_downloaded=len(result.matches),
             )
         self.calls_served += 1
+        self._record_served(result, breakdown)
+        return result, breakdown
+
+    def handle_batch(
+        self, frames: Sequence[Frame | np.ndarray]
+    ) -> list[tuple[SearchResult, TimingBreakdown]]:
+        """Serve many coalesced search requests in one batched walk.
+
+        The serving gateway's dispatch path: one plane refresh, one
+        multi-query :meth:`~repro.cloud.search.CorrelationSearch.search_batch`
+        walk, then the per-request Eq. 4 breakdowns.  Every returned
+        ``(result, breakdown)`` pair is bit-identical to calling
+        :meth:`handle_frame` with the same frame (engines without a
+        ``search_batch`` fall back to per-request searches, so any
+        :class:`SearchEngine` still serves correctly).
+        """
+        datas = [
+            frame.data
+            if isinstance(frame, Frame)
+            else np.asarray(frame, dtype=np.float64)
+            for frame in frames
+        ]
+        if not datas:
+            return []
+        self.refresh()
+        with obs.trace.span(
+            "cloud.handle_batch", requests=len(datas), slices=self.plane.n_slices
+        ):
+            batcher = getattr(self.search_engine, "search_batch", None)
+            if batcher is not None:
+                results = batcher(datas, self.plane)
+            else:
+                results = [
+                    self.search_engine.search(data, self.plane)
+                    for data in datas
+                ]
+            served = [
+                (
+                    result,
+                    self.timing.initial_breakdown(
+                        frame_samples=data.size,
+                        correlations_evaluated=result.correlations_evaluated,
+                        n_signals_downloaded=len(result.matches),
+                    ),
+                )
+                for data, result in zip(datas, results)
+            ]
+        self.calls_served += len(served)
         registry = obs.metrics()
         if registry.enabled:
-            registry.inc("cloud.server.calls_served")
-            registry.inc("cloud.server.signals_returned", len(result.matches))
-            registry.observe("cloud.server.phase.upload_s", breakdown.upload_s)
-            registry.observe("cloud.server.phase.search_s", breakdown.search_s)
-            registry.observe("cloud.server.phase.download_s", breakdown.download_s)
-            registry.observe("cloud.server.phase.initial_s", breakdown.initial_s)
-        return result, breakdown
+            registry.inc("cloud.server.batches")
+            registry.observe("cloud.server.batch_size", float(len(served)))
+            for result, breakdown in served:
+                self._record_served(result, breakdown)
+        return served
+
+    def _record_served(
+        self, result: SearchResult, breakdown: TimingBreakdown
+    ) -> None:
+        """Per-request serving counters (same for single and batched)."""
+        registry = obs.metrics()
+        if not registry.enabled:
+            return
+        registry.inc("cloud.server.calls_served")
+        registry.inc("cloud.server.signals_returned", len(result.matches))
+        registry.observe("cloud.server.phase.upload_s", breakdown.upload_s)
+        registry.observe("cloud.server.phase.search_s", breakdown.search_s)
+        registry.observe("cloud.server.phase.download_s", breakdown.download_s)
+        registry.observe("cloud.server.phase.initial_s", breakdown.initial_s)
 
     def close(self) -> None:
         """Release the engine's worker pool (if any) and the plane's

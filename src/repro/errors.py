@@ -83,3 +83,7 @@ class FrameworkError(EMAPError):
 
 class ObservabilityError(EMAPError):
     """A metrics, tracing, or profiling operation was misused."""
+
+
+class GatewayError(EMAPError):
+    """The serving gateway was misconfigured or misused."""

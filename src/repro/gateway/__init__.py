@@ -1,0 +1,31 @@
+"""Async multi-tenant serving gateway with cross-request batching.
+
+The gateway (:class:`ServingGateway`) coalesces concurrent search
+requests into single batched plane walks while keeping per-tenant
+resilience (deadline, retry, circuit breaker) and admission control.
+:func:`run_fleet` drives it with thousands of simulated sessions, and
+:func:`run_soak` is the chaos-under-load health gate used by CI.
+"""
+
+from repro.gateway.fleet import (
+    FleetConfig,
+    FleetReport,
+    TenantSummary,
+    build_frame_pool,
+    run_fleet,
+)
+from repro.gateway.gateway import GatewayConfig, ServingGateway
+from repro.gateway.soak import SoakConfig, SoakReport, run_soak
+
+__all__ = [
+    "FleetConfig",
+    "FleetReport",
+    "GatewayConfig",
+    "ServingGateway",
+    "SoakConfig",
+    "SoakReport",
+    "TenantSummary",
+    "build_frame_pool",
+    "run_fleet",
+    "run_soak",
+]

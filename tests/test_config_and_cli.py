@@ -70,6 +70,48 @@ class TestCLI:
         output = capsys.readouterr().out
         assert "anomaly predicted" in output
 
+    def test_serve_fleet(self, capsys):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--sessions",
+                    "16",
+                    "--tenants",
+                    "4",
+                    "--mdb-scale",
+                    "0.05",
+                    "--frames",
+                    "6",
+                    "--obs",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "16 sessions over 4 tenant(s)" in output
+        assert "latency p50/p95/p99" in output
+        assert "gateway.requests" in output  # --obs appends the metrics
+
+    def test_serve_soak_exit_codes(self, capsys):
+        args = [
+            "serve",
+            "--soak",
+            "--sessions",
+            "12",
+            "--tenants",
+            "4",
+            "--mdb-scale",
+            "0.05",
+            "--frames",
+            "6",
+        ]
+        assert main(args) == 0
+        assert "soak gates: all passed" in capsys.readouterr().out
+        # An impossible latency budget must fail the gate and the exit.
+        assert main(args + ["--p99-budget", "1e-9"]) == 1
+        assert "VIOLATED" in capsys.readouterr().out
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])

@@ -8,12 +8,16 @@ This rule is the in-repo, dependency-free enforcement of that contract
 
 Checked: module-level public functions and public methods (plus
 ``__init__``/``__call__``/``__new__``) defined in ``repro/cloud``,
-``repro/edge``, ``repro/runtime`` and ``repro/faults``.  The edge
+``repro/edge``, ``repro/runtime``, ``repro/faults`` and
+``repro/gateway``.  The edge
 scope deliberately covers the compiled tracking plane and fleet
 batcher (``repro/edge/plane.py``, ``repro/edge/fleet.py``, and the
 ``repro/edge/_kernels.py`` public surface) — the per-step reduction is
 the hottest loop on the device, so its boundary types must stay
-exact.  Every
+exact.  The gateway scope covers the async serving surface
+(``submit``/``handle_batch`` and the fleet/soak drivers), where an
+``Any`` on the coalescing path would silently untype every tenant's
+resilient call.  Every
 parameter (except ``self``/``cls``) needs an annotation and the
 function needs a return annotation.  Nested helper closures and the
 remaining dunders (``__exit__``, ``__len__``, …) are exempt here —
@@ -41,6 +45,7 @@ class HotPathAnnotations(Rule):
         ("repro", "cloud"),
         ("repro", "edge"),
         ("repro", "faults"),
+        ("repro", "gateway"),
         ("repro", "runtime"),
     )
 
