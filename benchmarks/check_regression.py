@@ -64,6 +64,20 @@ when:
 * batches stop forming under concurrent load (mean batch size
   collapses toward 1).
 
+**Two-stage gate** — serves the same request stream over the same
+compiled plane single-stage, with lossless coarse screening, and with
+fast coarse screening (``benchmarks/baselines/two_stage_throughput.json``).
+It fails when:
+
+* the lossless arm stops being **bit-identical** to the single-stage
+  plane path — never acceptable;
+* ``fast_pruned_per_query`` drifts from the baseline (the coarse
+  screen is deterministic, so drift is an algorithmic change);
+* the fast-mode speedup falls below the **2x absolute floor** over the
+  single-stage plane path — self-normalising, both arms share the
+  host.  Fast-mode *quality* is gated separately by the Fig. 11 bench
+  (``test_bench_two_stage_throughput.py``).
+
 Regenerate the baselines after an intentional change with::
 
     python benchmarks/check_regression.py --update
@@ -96,6 +110,9 @@ DEFAULT_EDGE_PLANE_BASELINE = (
 DEFAULT_GATEWAY_BASELINE = (
     REPO_ROOT / "benchmarks" / "baselines" / "gateway_throughput.json"
 )
+DEFAULT_TWO_STAGE_BASELINE = (
+    REPO_ROOT / "benchmarks" / "baselines" / "two_stage_throughput.json"
+)
 DEFAULT_METRICS_OUT = REPO_ROOT / "benchmark_reports" / "fig7b_obs_metrics.json"
 DEFAULT_DB_SIZES = (500, 1000, 2000)
 PLANE_SPEEDUP_FLOOR = 3.0
@@ -109,6 +126,8 @@ EDGE_PLANE_SPEEDUP_FLOOR = 3.0
 EDGE_FLEET_SPEEDUP_FLOOR = 2.0
 EDGE_PLANE_CANDIDATES = 100
 EDGE_PLANE_N_FRAMES = 12
+TWO_STAGE_SPEEDUP_FLOOR = 2.0
+TWO_STAGE_N_QUERIES = 12
 
 
 def run_benchmark(mdb_scale: float, seed: int, db_sizes: tuple[int, ...]) -> dict:
@@ -153,6 +172,17 @@ def run_edge_plane_benchmark(seed: int) -> dict:
         seed=seed,
     )
     return edge_plane_throughput.summarize(result, seed=seed)
+
+
+def run_two_stage_benchmark(mdb_scale: float, seed: int) -> dict:
+    """One two-stage throughput run, summarised for baseline/compare."""
+    import two_stage_throughput
+
+    fixture = build_fixture(mdb_scale=mdb_scale, seed=seed)
+    result = two_stage_throughput.run_two_stage(
+        fixture, n_queries=TWO_STAGE_N_QUERIES
+    )
+    return two_stage_throughput.summarize(result, mdb_scale=mdb_scale, seed=seed)
 
 
 def run_gateway_benchmark(mdb_scale: float, seed: int) -> dict:
@@ -311,6 +341,32 @@ def compare_gateway(summary: dict, baseline: dict) -> list[str]:
     return failures
 
 
+def compare_two_stage(summary: dict, baseline: dict) -> list[str]:
+    """Gate failures for the two-stage search bench (empty = pass)."""
+    failures: list[str] = []
+    if not summary["lossless_identical"]:
+        failures.append(
+            "lossless two-stage results diverged from the single-stage "
+            "plane path — matches or correlations_evaluated are no "
+            "longer bit-identical"
+        )
+    if summary["fast_pruned_per_query"] != baseline["fast_pruned_per_query"]:
+        failures.append(
+            "fast_pruned_per_query drifted from baseline "
+            f"({summary['fast_pruned_per_query']} vs "
+            f"{baseline['fast_pruned_per_query']}) — the coarse screen is "
+            "deterministic, so this is an algorithmic change"
+        )
+    if summary["fast_speedup"] < TWO_STAGE_SPEEDUP_FLOOR:
+        failures.append(
+            f"fast two-stage speedup {summary['fast_speedup']:.2f}x fell "
+            f"below the {TWO_STAGE_SPEEDUP_FLOOR:.0f}x floor over the "
+            f"single-stage plane path (baseline "
+            f"{baseline['fast_speedup']:.2f}x) — screening regression"
+        )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
@@ -339,6 +395,14 @@ def main(argv: list[str] | None = None) -> int:
         "--skip-gateway",
         action="store_true",
         help="skip the serving-gateway throughput gate",
+    )
+    parser.add_argument(
+        "--two-stage-baseline", type=Path, default=DEFAULT_TWO_STAGE_BASELINE
+    )
+    parser.add_argument(
+        "--skip-two-stage",
+        action="store_true",
+        help="skip the two-stage search throughput gate",
     )
     parser.add_argument(
         "--update", action="store_true", help="rewrite the baseline and exit 0"
@@ -417,6 +481,19 @@ def main(argv: list[str] | None = None) -> int:
             )
         )
 
+    two_stage_summary = None
+    if not args.skip_two_stage:
+        two_stage_summary = run_two_stage_benchmark(args.mdb_scale, args.seed)
+        print(
+            "two-stage: fast {0:.2f}x, lossless {1:.2f}x "
+            "({2} queries, lossless identical={3})".format(
+                two_stage_summary["fast_speedup"],
+                two_stage_summary["lossless_speedup"],
+                two_stage_summary["n_queries"],
+                two_stage_summary["lossless_identical"],
+            )
+        )
+
     if args.update:
         args.baseline.parent.mkdir(parents=True, exist_ok=True)
         args.baseline.write_text(json.dumps(summary, indent=2) + "\n")
@@ -439,6 +516,12 @@ def main(argv: list[str] | None = None) -> int:
                 json.dumps(gateway_summary, indent=2) + "\n"
             )
             print(f"baseline updated: {args.gateway_baseline}")
+        if two_stage_summary is not None:
+            args.two_stage_baseline.parent.mkdir(parents=True, exist_ok=True)
+            args.two_stage_baseline.write_text(
+                json.dumps(two_stage_summary, indent=2) + "\n"
+            )
+            print(f"baseline updated: {args.two_stage_baseline}")
         return 0
 
     missing = [
@@ -448,6 +531,11 @@ def main(argv: list[str] | None = None) -> int:
             + ([args.plane_baseline] if plane_summary is not None else [])
             + ([args.edge_plane_baseline] if edge_summary is not None else [])
             + ([args.gateway_baseline] if gateway_summary is not None else [])
+            + (
+                [args.two_stage_baseline]
+                if two_stage_summary is not None
+                else []
+            )
         )
         if not path.exists()
     ]
@@ -470,6 +558,9 @@ def main(argv: list[str] | None = None) -> int:
     if gateway_summary is not None:
         gateway_baseline = json.loads(args.gateway_baseline.read_text())
         failures += compare_gateway(gateway_summary, gateway_baseline)
+    if two_stage_summary is not None:
+        two_stage_baseline = json.loads(args.two_stage_baseline.read_text())
+        failures += compare_two_stage(two_stage_summary, two_stage_baseline)
     if failures:
         print("benchmark regression gate FAILED:", file=sys.stderr)
         for failure in failures:
@@ -493,6 +584,12 @@ def main(argv: list[str] | None = None) -> int:
             f", {GATEWAY_SPEEDUP_FLOOR:.2f}x gateway floor vs "
             f"{args.gateway_baseline.name}"
             if gateway_summary is not None
+            else ""
+        )
+        + (
+            f", {TWO_STAGE_SPEEDUP_FLOOR:.0f}x two-stage floor vs "
+            f"{args.two_stage_baseline.name}"
+            if two_stage_summary is not None
             else ""
         )
         + ")"

@@ -46,6 +46,16 @@ _EXPERIMENTS: dict[str, str] = {
 }
 
 
+def _add_two_stage(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--two-stage",
+        choices=["off", "lossless", "fast"],
+        default="off",
+        help="coarse-then-exact cloud search (lossless = provable "
+        "pruning, bit-identical; fast = tunable candidate cut)",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="emap",
@@ -66,6 +76,7 @@ def _build_parser() -> argparse.ArgumentParser:
             sub.add_argument("--no-baselines", action="store_true")
         if name == "fig11":
             sub.add_argument("--inputs", type=int, default=20)
+            _add_two_stage(sub)
 
     monitor = subparsers.add_parser(
         "monitor", help="run one closed-loop monitoring session"
@@ -90,6 +101,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default="scalar",
         help="edge tracking engine (plane = compiled set, fused stepping)",
     )
+    _add_two_stage(monitor)
 
     obs_cmd = subparsers.add_parser(
         "obs",
@@ -130,6 +142,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=96,
         help="raw samples per streaming push (exercises partial frames)",
     )
+    _add_two_stage(obs_cmd)
 
     serve = subparsers.add_parser(
         "serve",
@@ -208,6 +221,7 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="append the collected gateway.* metrics report",
     )
+    _add_two_stage(serve)
     return parser
 
 
@@ -287,7 +301,10 @@ def _cmd_fig11(args: argparse.Namespace) -> str:
     from repro.eval.experiments import fig11_search_quality
 
     return fig11_search_quality.run(
-        _fixture(args), n_inputs_per_class=args.inputs, seed=args.seed
+        _fixture(args),
+        n_inputs_per_class=args.inputs,
+        seed=args.seed,
+        two_stage=args.two_stage,
     ).report()
 
 
@@ -306,6 +323,7 @@ def _cmd_table1(args: argparse.Namespace) -> str:
 
 
 def _cmd_monitor(args: argparse.Namespace) -> str:
+    from repro.cloud.search import SearchConfig
     from repro.config import PipelineConfig, build_pipeline
     from repro.edge.tracker import TrackerConfig
     from repro.signals.anomalies import AnomalySpec, make_anomalous_signal
@@ -331,6 +349,7 @@ def _cmd_monitor(args: argparse.Namespace) -> str:
             mdb_scale=args.mdb_scale,
             seed=args.seed,
             with_artifacts=False,
+            search=SearchConfig(two_stage=args.two_stage),
             search_workers=args.workers,
             tracker=TrackerConfig(engine=args.engine),
         )
@@ -374,6 +393,7 @@ def _obs_recording(args: argparse.Namespace) -> Signal:
 def _cmd_obs(args: argparse.Namespace) -> str:
     """End-to-end streaming run with the observability layer enabled."""
     from repro import obs
+    from repro.cloud.search import SearchConfig
     from repro.config import PipelineConfig, build_pipeline
     from repro.edge.tracker import TrackerConfig
     from repro.obs.profiling import profile_block
@@ -386,6 +406,7 @@ def _cmd_obs(args: argparse.Namespace) -> str:
             mdb_scale=args.mdb_scale,
             seed=args.seed,
             with_artifacts=False,
+            search=SearchConfig(two_stage=args.two_stage),
             search_workers=args.workers,
         )
     ) as pipeline:
@@ -448,6 +469,7 @@ def _cmd_serve(args: argparse.Namespace) -> str | tuple[str, int]:
                 fault_rate=args.fault_rate,
                 n_frames=args.frames,
                 seed=args.seed,
+                two_stage=args.two_stage,
                 **overrides,
             )
         )
@@ -456,12 +478,18 @@ def _cmd_serve(args: argparse.Namespace) -> str | tuple[str, int]:
             output += "\n\n" + obs.format_report(obs.export())
         return output if soak.passed else (output, 1)
 
+    from repro.cloud.search import SearchConfig, SlidingWindowSearch
     from repro.cloud.server import CloudServer
     from repro.eval.experiments.common import build_fixture
     from repro.gateway import build_frame_pool, run_fleet
 
     fixture = build_fixture(mdb_scale=args.mdb_scale, seed=args.seed)
-    server = CloudServer(fixture.slices)
+    server = CloudServer(
+        fixture.slices,
+        search=SlidingWindowSearch(
+            SearchConfig(two_stage=args.two_stage), precompute=True
+        ),
+    )
     try:
         frames = build_frame_pool(
             fixture.slices, n_frames=args.frames, seed=args.seed

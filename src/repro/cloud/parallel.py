@@ -43,6 +43,7 @@ from repro.cloud.search import (
     SkipPolicy,
     PlaneWalker,
     TopK,
+    screen_plane,
 )
 from repro.errors import SearchError
 from repro.signals.types import SignalSlice
@@ -108,6 +109,8 @@ def merge_results(
             merged.slices_searched += partial.slices_searched
             merged.candidates_above_threshold += partial.candidates_above_threshold
             merged.heap_admissions += partial.heap_admissions
+            merged.slices_pruned += partial.slices_pruned
+            merged.coarse_elapsed_s += partial.coarse_elapsed_s
             merged.chunk_elapsed_s.append(partial.elapsed_s)
             for match in partial.matches:
                 top.offer(match.omega, match)
@@ -132,6 +135,8 @@ class _ChunkOutcome:
     heap_admissions: int
     elapsed_s: float
     hits: list[tuple[int, float, int]]
+    slices_pruned: int = 0
+    coarse_elapsed_s: float = 0.0
 
 
 class _WorkerPlane:
@@ -161,6 +166,20 @@ class _WorkerPlane:
         norm = float(np.linalg.norm(centered))
         cache = self.core.ensure_norms(self.config.frame_samples)
         top: TopK[tuple[int, float, int]] = TopK(self.config.top_k)
+        # Two-stage screening in the worker: per-slice verdicts are a
+        # global pure function of (plane, query, config), so every
+        # chunk reaches the same decisions the single-engine path does
+        # and the merged results stay identical.
+        walk_ids: Sequence[int] = chunk_ids
+        n_pruned = 0
+        synthetic = 0
+        coarse_s = 0.0
+        outcome = screen_plane(
+            self.core, self.config, self.policy, centered, norm
+        )
+        if outcome is not None:
+            walk_ids, n_pruned, synthetic = outcome.apply(chunk_ids)
+            coarse_s = outcome.elapsed_s
         walker = PlaneWalker(
             self.core,
             centered,
@@ -169,18 +188,20 @@ class _WorkerPlane:
             self.policy,
             self.config.delta,
             self.config.dedupe_per_slice,
-            indices=chunk_ids,
+            indices=walk_ids,
         )
         hits, evaluated, above = walker.walk_all()
         for index, omega, offset in hits:
             top.offer(omega, (index, omega, offset))
         return _ChunkOutcome(
-            correlations_evaluated=evaluated,
+            correlations_evaluated=evaluated + synthetic,
             slices_searched=len(chunk_ids),
             candidates_above_threshold=above,
             heap_admissions=top.admissions,
             elapsed_s=time.perf_counter() - started,
             hits=top.sorted_items(),
+            slices_pruned=n_pruned,
+            coarse_elapsed_s=coarse_s,
         )
 
     def release(self) -> None:
@@ -372,6 +393,8 @@ class ParallelSearch:
             candidates_above_threshold=outcome.candidates_above_threshold,
             heap_admissions=outcome.heap_admissions,
             elapsed_s=outcome.elapsed_s,
+            slices_pruned=outcome.slices_pruned,
+            coarse_elapsed_s=outcome.coarse_elapsed_s,
         )
         result.matches = [
             SearchMatch(

@@ -41,6 +41,7 @@ from typing import Sequence
 import numpy as np
 
 from repro import obs
+from repro.cloud.coarse import CoarseIndex
 from repro.errors import SearchError
 from repro.mdb.mdb import MegaDatabase
 from repro.signals.types import SignalSlice
@@ -108,8 +109,11 @@ class PlaneCore:
         self.offsets = offsets
         self.fft_min_samples = fft_min_samples
         self._norm_caches: dict[int, PlaneNorms] = {}
+        self._coarse_caches: dict[tuple[int, int], CoarseIndex] = {}
         self.cache_hits = 0
         self.cache_misses = 0
+        self.coarse_cache_hits = 0
+        self.coarse_cache_misses = 0
 
     @property
     def n_slices(self) -> int:
@@ -185,6 +189,41 @@ class PlaneCore:
                 "cloud.plane.norm_cache_build_s", time.perf_counter() - started
             )
         return cache
+
+    # -- per-(frame length, decimation) coarse screen cache ----------
+
+    def ensure_coarse(
+        self, frame_samples: int, decimation: int
+    ) -> CoarseIndex:
+        """The coarse screening index for ``(frame_samples,
+        decimation)``, compiling it on miss.
+
+        Lives beside the norm caches with the same lifecycle: keyed on
+        this core, so a generation-driven plane rebuild (which creates
+        a fresh core) drops stale coarse grids exactly as it drops
+        stale norms.
+        """
+        key = (frame_samples, decimation)
+        cached = self._coarse_caches.get(key)
+        if cached is not None:
+            self.coarse_cache_hits += 1
+            obs.metrics().inc("cloud.plane.coarse.cache_hits")
+            return cached
+        self.coarse_cache_misses += 1
+        norms = self.ensure_norms(frame_samples)
+        started = time.perf_counter()
+        index = CoarseIndex(self, norms, frame_samples, decimation)
+        self._coarse_caches[key] = index
+        registry = obs.metrics()
+        if registry.enabled:
+            registry.inc("cloud.plane.coarse.cache_misses")
+            registry.observe(
+                "cloud.plane.coarse.build_s", time.perf_counter() - started
+            )
+            registry.set_gauge(
+                "cloud.plane.coarse.compiled_bytes", index.nbytes
+            )
+        return index
 
     # -- correlation evaluation --------------------------------------
 
@@ -378,6 +417,11 @@ class SearchPlane:
 
     def ensure_norms(self, frame_samples: int) -> PlaneNorms:
         return self.core.ensure_norms(frame_samples)
+
+    def ensure_coarse(
+        self, frame_samples: int, decimation: int
+    ) -> CoarseIndex:
+        return self.core.ensure_coarse(frame_samples, decimation)
 
     def correlations(
         self,

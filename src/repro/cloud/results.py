@@ -45,6 +45,14 @@ class SearchResult:
     holds each chunk's own wall time while ``elapsed_s`` is the true
     end-to-end latency of the whole partitioned search (both measured
     by the ``repro.obs`` tracer).
+
+    Two-stage searches additionally report ``slices_pruned`` (slices
+    the coarse pass removed before the exact walk; still counted in
+    ``slices_searched``) and ``coarse_elapsed_s`` (stage-1 screening
+    time, included in ``elapsed_s``).  In lossless mode the pruned
+    slices' provable walk costs stay folded into
+    ``correlations_evaluated``, so the statistic is bit-identical to a
+    single-stage search.
     """
 
     matches: list[SearchMatch] = field(default_factory=list)
@@ -54,6 +62,8 @@ class SearchResult:
     heap_admissions: int = 0
     elapsed_s: float = 0.0
     chunk_elapsed_s: list[float] = field(default_factory=list)
+    slices_pruned: int = 0
+    coarse_elapsed_s: float = 0.0
 
     def __len__(self) -> int:
         return len(self.matches)

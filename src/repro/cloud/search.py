@@ -33,6 +33,7 @@ from typing import Callable, Generic, Iterable, Protocol, Sequence, TypeVar
 import numpy as np
 
 from repro import obs
+from repro.cloud.coarse import ScreenOutcome
 from repro.cloud.plane import PlaneCore, PlaneNorms, SearchPlane
 from repro.cloud.results import SearchMatch, SearchResult
 from repro.errors import SearchError
@@ -66,6 +67,18 @@ class SearchConfig:
     per signal-set so the top-100 are 100 distinct *signals*, matching
     the paper's reading of T; set it to ``False`` for the literal
     every-offset pseudocode behaviour.
+
+    ``two_stage`` engages the coarse screening pass on compiled-plane
+    searches (``"off"`` | ``"lossless"`` | ``"fast"`` — see
+    :mod:`repro.cloud.coarse`): ``"lossless"`` prunes only slices whose
+    coarse upper bound provably cannot reach a hit (results stay
+    bit-identical; prune rate is data-dependent and surfaced via the
+    ``cloud.plane.coarse.*`` metrics), ``"fast"`` keeps only the
+    ``coarse_keep_fraction`` best-scoring slices (never fewer than
+    ``top_k``), trading a Fig. 11-gated sliver of quality for
+    throughput.  ``coarse_decimation`` is the block size ``D`` of the
+    decimated grid.  Raw-iterable searches (no compiled plane) ignore
+    the setting.
     """
 
     frame_samples: int = FRAME_SAMPLES
@@ -76,6 +89,9 @@ class SearchConfig:
     max_skip: int = 250
     top_k: int = DEFAULT_TOP_K
     dedupe_per_slice: bool = True
+    two_stage: str = "off"
+    coarse_decimation: int = 8
+    coarse_keep_fraction: float = 0.25
 
     def __post_init__(self) -> None:
         if self.frame_samples <= 0:
@@ -92,6 +108,22 @@ class SearchConfig:
             raise SearchError(f"max skip must be >= 1, got {self.max_skip}")
         if self.top_k <= 0:
             raise SearchError(f"top_k must be positive, got {self.top_k}")
+        if self.two_stage not in ("off", "lossless", "fast"):
+            raise SearchError(
+                "two_stage must be 'off', 'lossless' or 'fast', got "
+                f"{self.two_stage!r}"
+            )
+        if self.two_stage != "off":
+            if not (2 <= self.coarse_decimation <= self.frame_samples):
+                raise SearchError(
+                    "coarse decimation must be in [2, frame_samples], got "
+                    f"{self.coarse_decimation}"
+                )
+            if not (0.0 < self.coarse_keep_fraction <= 1.0):
+                raise SearchError(
+                    "coarse keep fraction must be in (0, 1], got "
+                    f"{self.coarse_keep_fraction}"
+                )
 
 
 class SkipPolicy(Protocol):
@@ -163,6 +195,65 @@ class ExponentialSkipPolicy:
         np.rint(effective, out=effective)
         np.clip(effective, 1, self.max_skip, out=effective)
         return effective.astype(np.int64)
+
+
+def lossless_walk_params(
+    policy: SkipPolicy, delta: float
+) -> tuple[float, int] | None:
+    """The coarse pass's lossless ``(prune ceiling, constant stride)``.
+
+    A slice may be pruned losslessly only when two things are provable
+    from its coarse upper bound ``u`` alone: it yields no hit, and its
+    skip walk visits a closed-form set of offsets.  For
+    :class:`FixedSkipPolicy` the trajectory never depends on ω, so the
+    ceiling is ``δ`` itself.  For :class:`ExponentialSkipPolicy`, every
+    visited ω lies in ``[0, u]``; with ``k₀ = skip(0)``, the rounded
+    clamp ``skip(ω) = clamp(round(Sα/max(ω, ε)), 1, max_skip)`` stays
+    exactly ``k₀`` for all ``ω < Sα/(k₀ − ½)`` (strict — round half to
+    even makes the boundary itself unsafe), so the ceiling is
+    ``min(δ, Sα/(k₀ − ½))`` and the stride ``k₀``; when ``k₀ = 1`` the
+    skip is 1 for *every* ω (it only shrinks as ω grows), leaving
+    ``δ`` as the ceiling.  Policies this module doesn't know return
+    ``None`` — lossless screening then keeps everything.
+    """
+    if isinstance(policy, FixedSkipPolicy):
+        return delta, policy.step
+    if isinstance(policy, ExponentialSkipPolicy):
+        stride = policy.skip(0.0)
+        if stride <= 1:
+            return delta, 1
+        theta = policy.skip_scale * policy.alpha / (stride - 0.5)
+        return min(delta, theta), stride
+    return None
+
+
+def screen_plane(
+    core: PlaneCore,
+    config: SearchConfig,
+    policy: SkipPolicy,
+    centered: np.ndarray,
+    norm: float,
+) -> ScreenOutcome | None:
+    """Run the configured coarse screen over a plane core.
+
+    Returns ``None`` when two-stage search is off or (lossless mode)
+    the policy admits no provable prune ceiling.  Shared by the
+    in-process engine and the pool workers so every execution mode
+    reaches identical per-slice verdicts.
+    """
+    mode = config.two_stage
+    if mode == "off":
+        return None
+    index = core.ensure_coarse(config.frame_samples, config.coarse_decimation)
+    if mode == "lossless":
+        params = lossless_walk_params(policy, config.delta)
+        if params is None:
+            return None
+        ceiling, stride = params
+        return index.screen_lossless(centered, norm, ceiling, stride)
+    return index.screen_fast(
+        centered, norm, config.coarse_keep_fraction, config.top_k
+    )
 
 
 class TopK(Generic[T]):
@@ -741,7 +832,19 @@ class CorrelationSearch:
         result = SearchResult()
         top: TopK[SearchMatch] = TopK(self.config.top_k)
         with obs.trace.span("cloud.search") as span:
-            scan = indices if indices is not None else range(plane.n_slices)
+            scan: Sequence[int] | range = (
+                indices if indices is not None else range(plane.n_slices)
+            )
+            walk_ids: Sequence[int] | range = scan
+            outcome = screen_plane(
+                plane.core, self.config, self.policy, centered, norm
+            )
+            if outcome is not None:
+                walk_ids, n_pruned, synthetic = outcome.apply(scan)
+                result.slices_pruned += n_pruned
+                result.correlations_evaluated += synthetic
+                result.coarse_elapsed_s += outcome.elapsed_s
+                self._publish_screen(outcome, len(scan), n_pruned)
             walker = PlaneWalker(
                 plane.core,
                 centered,
@@ -750,7 +853,7 @@ class CorrelationSearch:
                 self.policy,
                 self.config.delta,
                 self.config.dedupe_per_slice,
-                indices=scan,
+                indices=walk_ids,
             )
             hits, evaluated, above = walker.walk_all()
             result.slices_searched += len(scan)
@@ -793,18 +896,39 @@ class CorrelationSearch:
         results: list[SearchResult] = []
         tops: list[TopK[SearchMatch]] = []
         with obs.trace.span("cloud.search_batch", queries=len(frames)) as span:
-            walkers = [
-                PlaneWalker(
-                    plane.core,
-                    centered,
-                    norm,
-                    cache,
-                    self.policy,
-                    self.config.delta,
-                    self.config.dedupe_per_slice,
+            walkers: list[PlaneWalker] = []
+            # Per-query (pruned, synthetic evaluations, stage-1 time):
+            # each query is screened before its layout is built, so the
+            # joint walk stacks only surviving slices.
+            screened: list[tuple[int, int, float]] = []
+            for centered, norm in prepared:
+                outcome = screen_plane(
+                    plane.core, self.config, self.policy, centered, norm
                 )
-                for centered, norm in prepared
-            ]
+                walk_ids: Sequence[int] | None = None
+                if outcome is None:
+                    screened.append((0, 0, 0.0))
+                else:
+                    kept, n_pruned, synthetic = outcome.apply(
+                        range(plane.n_slices)
+                    )
+                    walk_ids = kept
+                    screened.append(
+                        (n_pruned, synthetic, outcome.elapsed_s)
+                    )
+                    self._publish_screen(outcome, plane.n_slices, n_pruned)
+                walkers.append(
+                    PlaneWalker(
+                        plane.core,
+                        centered,
+                        norm,
+                        cache,
+                        self.policy,
+                        self.config.delta,
+                        self.config.dedupe_per_slice,
+                        indices=walk_ids,
+                    )
+                )
             stacked = sum(walker.total_positions for walker in walkers)
             if (
                 len(walkers) > 1
@@ -820,11 +944,15 @@ class CorrelationSearch:
             else:
                 walked = [walker.walk_all() for walker in walkers]
             slices = plane.slices
-            for hits, evaluated, above in walked:
+            for (hits, evaluated, above), (n_pruned, synthetic, coarse_s) in zip(
+                walked, screened
+            ):
                 result = SearchResult()
                 result.slices_searched = plane.n_slices
-                result.correlations_evaluated = evaluated
+                result.correlations_evaluated = evaluated + synthetic
                 result.candidates_above_threshold = above
+                result.slices_pruned = n_pruned
+                result.coarse_elapsed_s = coarse_s
                 top: TopK[SearchMatch] = TopK(self.config.top_k)
                 for index, omega, offset in hits:
                     top.offer(
@@ -878,6 +1006,35 @@ class CorrelationSearch:
         )
         registry.inc("cloud.search.heap_admissions", result.heap_admissions)
         registry.observe("cloud.search.elapsed_s", result.elapsed_s)
+        if result.coarse_elapsed_s > 0.0:
+            # Stage-1 (coarse screen) vs stage-2 (exact walk) split.
+            registry.observe(
+                "cloud.search.stage2_s",
+                max(result.elapsed_s - result.coarse_elapsed_s, 0.0),
+            )
+
+    def _publish_screen(
+        self, outcome: ScreenOutcome, scanned: int, pruned: int
+    ) -> None:
+        """Record one coarse screen's prune rate and tightness."""
+        registry = obs.metrics()
+        if not registry.enabled:
+            return
+        registry.inc("cloud.plane.coarse.screens")
+        registry.inc("cloud.plane.coarse.slices_pruned", pruned)
+        if scanned:
+            registry.observe(
+                "cloud.plane.coarse.prune_rate", pruned / scanned
+            )
+        if outcome.mode == "lossless":
+            registry.observe(
+                "cloud.plane.coarse.bound_margin", outcome.margin
+            )
+        else:
+            registry.observe(
+                "cloud.plane.coarse.keep_floor", outcome.margin
+            )
+        registry.observe("cloud.search.stage1_s", outcome.elapsed_s)
 
     def _scan_slice(
         self,

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.cloud.plane import SearchPlane
 from repro.cloud.search import ExhaustiveSearch, SearchConfig, SlidingWindowSearch
 from repro.errors import EMAPError
 from repro.eval.experiments.common import (
@@ -23,7 +24,7 @@ from repro.eval.experiments.common import (
 from repro.eval.reporting import format_table
 from repro.signals.anomalies import AnomalySpec, make_anomalous_signal
 from repro.signals.generator import EEGGenerator
-from repro.signals.types import AnomalyType
+from repro.signals.types import AnomalyType, SignalSlice
 
 
 @dataclass
@@ -80,15 +81,26 @@ def run(
     fixture: ExperimentFixture | None = None,
     n_inputs_per_class: int = 100,
     seed: int = 0,
+    two_stage: str = "off",
 ) -> SearchQualityResult:
-    """Search with both engines for every input; collect top-set quality."""
+    """Search with both engines for every input; collect top-set quality.
+
+    ``two_stage`` runs the Algorithm-1 arm through the coarse-then-exact
+    screen over the compiled plane, so the same quality gap that gates
+    the paper's sliding window also gates the fast pruning mode.
+    """
     if n_inputs_per_class < 1:
         raise EMAPError(
             f"need at least one input per class, got {n_inputs_per_class}"
         )
     fix = fixture or build_fixture()
     exhaustive = ExhaustiveSearch(SearchConfig(), precompute=True)
-    algorithm1 = SlidingWindowSearch(SearchConfig(), precompute=True)
+    algorithm1 = SlidingWindowSearch(
+        SearchConfig(two_stage=two_stage), precompute=True
+    )
+    store: SearchPlane | list[SignalSlice] = (
+        SearchPlane(fix.slices) if two_stage != "off" else fix.slices
+    )
     result = SearchQualityResult()
 
     for index in range(n_inputs_per_class):
@@ -98,7 +110,7 @@ def run(
             exhaustive.search(frame, fix.slices).mean_omega
         )
         result.normal_algorithm1.append(
-            algorithm1.search(frame, fix.slices).mean_omega
+            algorithm1.search(frame, store).mean_omega
         )
 
     spec = AnomalySpec(kind=AnomalyType.SEIZURE, onset_s=3.0, buildup_s=2.0)
@@ -111,6 +123,6 @@ def run(
             exhaustive.search(frame, fix.slices).mean_omega
         )
         result.anomalous_algorithm1.append(
-            algorithm1.search(frame, fix.slices).mean_omega
+            algorithm1.search(frame, store).mean_omega
         )
     return result

@@ -66,11 +66,20 @@ class SoakConfig:
     max_queue_high_water: int = 1024
     n_frames: int = 32
     seed: int = 0
+    #: Two-stage search mode for the soaked server ("off", "lossless",
+    #: or "fast") — lets the soak lane exercise the coarse screen under
+    #: chaos without changing the gate semantics.
+    two_stage: str = "off"
 
     def __post_init__(self) -> None:
         if not (0.0 < self.mdb_scale <= 1.0):
             raise GatewayError(
                 f"mdb scale must be in (0, 1], got {self.mdb_scale}"
+            )
+        if self.two_stage not in ("off", "lossless", "fast"):
+            raise GatewayError(
+                f"two-stage mode must be off/lossless/fast, got "
+                f"{self.two_stage!r}"
             )
         if not (0.0 <= self.max_faulted_failure_ratio <= 1.0):
             raise GatewayError(
@@ -120,12 +129,18 @@ def _estimate_faulted_calls(config: SoakConfig) -> int:
 
 def run_soak(config: SoakConfig | None = None) -> SoakReport:
     """Run one soak scenario end to end and judge its gates."""
+    from repro.cloud.search import SearchConfig, SlidingWindowSearch
     from repro.cloud.server import CloudServer
     from repro.eval.experiments.common import build_fixture
 
     config = config or SoakConfig()
     fixture = build_fixture(mdb_scale=config.mdb_scale, seed=config.seed)
-    server = CloudServer(fixture.slices)
+    server = CloudServer(
+        fixture.slices,
+        search=SlidingWindowSearch(
+            SearchConfig(two_stage=config.two_stage), precompute=True
+        ),
+    )
     frames = build_frame_pool(
         fixture.slices, n_frames=config.n_frames, seed=config.seed
     )

@@ -254,6 +254,74 @@ class TestModeEquivalence:
                 == scalar.candidates_above_threshold
             )
 
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        exhaustive=st.booleans(),
+        samples=st.sampled_from([128, 256, 384]),
+        top_k=st.sampled_from([5, 25, 60]),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_lossless_two_stage_bit_identical(
+        self, seed, exhaustive, samples, top_k
+    ):
+        """Satellite: lossless screening changes nothing observable —
+        matches *and* every statistic equal the scalar engine's across
+        random MDBs, frame lengths and top-K sizes."""
+        base = SearchConfig(delta=0.6, top_k=top_k, frame_samples=samples)
+        staged = SearchConfig(
+            delta=0.6,
+            top_k=top_k,
+            frame_samples=samples,
+            two_stage="lossless",
+            coarse_decimation=8,
+        )
+        slices = _random_slices(seed, n=14, min_len=200, max_len=900)
+        frame = _query(seed, samples=samples)
+        if exhaustive:
+            scalar_engine = ExhaustiveSearch(base)
+            staged_engine = ExhaustiveSearch(staged, precompute=True)
+            policy = FixedSkipPolicy(1)
+        else:
+            scalar_engine = SlidingWindowSearch(base)
+            staged_engine = SlidingWindowSearch(staged, precompute=True)
+            policy = None
+        scalar = scalar_engine.search(frame, slices)
+        plane = SearchPlane(slices)
+        planed = staged_engine.search(frame, plane)
+        pooled = ParallelSearch(
+            staged, n_chunks=3, n_workers=1, policy=policy, plane=plane
+        ).search(frame)
+        reference = _match_key(scalar)
+        for result in (planed, pooled):
+            assert _match_key(result) == reference
+            assert result.correlations_evaluated == scalar.correlations_evaluated
+            assert result.slices_searched == scalar.slices_searched
+            assert (
+                result.candidates_above_threshold
+                == scalar.candidates_above_threshold
+            )
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    @pytest.mark.parametrize("exhaustive", [False, True])
+    def test_lossless_two_stage_pooled_workers_identical(
+        self, seed, exhaustive
+    ):
+        """The shared-memory pool reaches the same lossless verdicts."""
+        config = SearchConfig(
+            delta=0.6, top_k=25, two_stage="lossless", coarse_decimation=8
+        )
+        slices = _random_slices(seed, n=20)
+        frame = _query(seed)
+        scalar_engine, _, policy = self._engines(exhaustive)
+        scalar = scalar_engine.search(frame, slices)
+        with ParallelSearch(
+            config, n_chunks=4, n_workers=2, policy=policy
+        ) as pooled:
+            staged = pooled.search(frame, slices)
+        assert _match_key(staged) == _match_key(scalar)
+        assert staged.correlations_evaluated == scalar.correlations_evaluated
+        assert staged.slices_pruned >= 0
+
     @pytest.mark.parametrize("seed", [0, 1])
     @pytest.mark.parametrize("exhaustive", [False, True])
     def test_pooled_workers_identical_and_pool_reused(self, seed, exhaustive):

@@ -33,10 +33,15 @@ SUPPRESSION_ALLOWLIST = {
 #: not even via the allowlist: the fault-handling code is exactly
 #: where a swallowed exception would hide a resilience bug.  The
 #: gateway rides the same resilient-call state machine, so its except
-#: clauses are held to the same bar.
+#: clauses are held to the same bar.  The two-stage search modules
+#: join the list because a swallowed exception in the coarse screen
+#: would silently degrade to wrong prune decisions instead of failing
+#: loudly — pruning bugs must never hide.
 EM006_NEVER_SUPPRESS = (
     "src/repro/faults/",
     "src/repro/cloud/client.py",
+    "src/repro/cloud/coarse.py",
+    "src/repro/cloud/search.py",
     "src/repro/gateway/",
 )
 

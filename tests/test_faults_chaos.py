@@ -192,3 +192,48 @@ class TestDegradedCounters:
         result = chaos_framework(server).run(normal_recording)
         assert result.iterations > 0
         assert np.isfinite(result.pa_series).all()
+
+
+class TestTwoStageUnderChaos:
+    """The coarse screen lives inside the faulted call path unchanged:
+    chaos runs with two-stage search survive every fault class, and
+    lossless mode replays bit-identically to the single-stage run."""
+
+    def staged_server(self, plane, mode: str) -> CloudServer:
+        from repro.cloud.search import SearchConfig, SlidingWindowSearch
+
+        return CloudServer(
+            plane,
+            search=SlidingWindowSearch(
+                SearchConfig(two_stage=mode), precompute=True
+            ),
+        )
+
+    @pytest.mark.parametrize("mode", ["lossless", "fast"])
+    def test_framework_survives_random_plan(
+        self, plane, seizure_recording, mode
+    ):
+        plan = FaultPlan.generate(
+            seed=17, horizon_calls=40, fault_rate=0.4, kinds=ALL_KINDS
+        )
+        server = FaultInjector(self.staged_server(plane, mode), plan)
+        result = chaos_framework(server).run(seizure_recording)
+        assert result.iterations > 0
+        assert server.injected > 0
+        assert np.isfinite(result.pa_series).all()
+
+    def test_lossless_chaos_replay_matches_single_stage(
+        self, plane, seizure_recording
+    ):
+        plan = FaultPlan.generate(seed=99, horizon_calls=40)
+        base = chaos_framework(
+            FaultInjector(CloudServer(plane), plan)
+        ).run(seizure_recording)
+        staged = chaos_framework(
+            FaultInjector(self.staged_server(plane, "lossless"), plan)
+        ).run(seizure_recording)
+        assert staged.pa_series == base.pa_series
+        assert staged.predictions == base.predictions
+        assert staged.stale_series == base.stale_series
+        assert staged.cloud_failures == base.cloud_failures
+        assert staged.cloud_calls == base.cloud_calls

@@ -17,7 +17,10 @@ the hottest loop on the device, so its boundary types must stay
 exact.  The gateway scope covers the async serving surface
 (``submit``/``handle_batch`` and the fleet/soak drivers), where an
 ``Any`` on the coalescing path would silently untype every tenant's
-resilient call.  Every
+resilient call.  The cloud scope includes the two-stage coarse screen
+(``repro/cloud/coarse.py``) — its bound arithmetic decides which
+slices are never exactly searched, so an untyped boundary there risks
+silent result corruption rather than a crash.  Every
 parameter (except ``self``/``cls``) needs an annotation and the
 function needs a return annotation.  Nested helper closures and the
 remaining dunders (``__exit__``, ``__len__``, …) are exempt here —
