@@ -85,5 +85,9 @@ class ObservabilityError(EMAPError):
     """A metrics, tracing, or profiling operation was misused."""
 
 
+class SanitizerError(ObservabilityError):
+    """A sanitized run violated a concurrency or resource budget."""
+
+
 class GatewayError(EMAPError):
     """The serving gateway was misconfigured or misused."""

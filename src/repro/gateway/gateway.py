@@ -51,6 +51,7 @@ from repro.cloud.client import (
 )
 from repro.errors import EMAPError, GatewayError
 from repro.faults.injector import FaultInjector
+from repro.obs.sanitize import sanitize_enabled
 from repro.faults.plan import FaultPlan
 
 if TYPE_CHECKING:  # heavy types stay annotations-only
@@ -76,6 +77,14 @@ class GatewayConfig:
     max_queue_per_tenant: int = 256
     max_pending: int = 2048
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
+    #: Route each batched plane walk through the default thread-pool
+    #: executor instead of calling it inline on the event loop.  Inline
+    #: is faster for as-fast-as-possible simulation (no thread hop) but
+    #: stalls the loop for the duration of the walk; offload keeps the
+    #: loop responsive at real MDB scales.  Defaults to the
+    #: ``EMAP_SANITIZE`` gate so sanitized lanes exercise the
+    #: non-blocking path and the loop-stall detector stays meaningful.
+    offload_batches: bool = field(default_factory=sanitize_enabled)
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -196,6 +205,9 @@ class ServingGateway:
         self._pending_total = 0
         self._wake: asyncio.Event | None = None
         self._dispatcher: asyncio.Task[None] | None = None
+        self._closed = False
+        #: The non-EMAP exception that killed the dispatcher, if any.
+        self.dispatcher_crash: Exception | None = None
         self.queue_high_water = 0
         self.batches_served = 0
         self.attempts_served = 0
@@ -227,6 +239,8 @@ class ServingGateway:
         synchronous client, failures come back as a classified
         :class:`~repro.cloud.client.CloudCallOutcome`.
         """
+        if self._closed:
+            raise GatewayError("gateway is closed; create a new one")
         state = self._tenant(tenant)
         state.submitted += 1
         registry = obs.metrics()
@@ -241,6 +255,14 @@ class ServingGateway:
         started = loop.time()
         driver = ResilientCallDriver(state.client, frame, now_s)
         while driver.begin_attempt():
+            if self._closed:
+                # The gateway closed mid-call: attempts already queued
+                # were failed by ``aclose``; later retries fail here
+                # without resurrecting the dispatcher.
+                driver.record_error(
+                    GatewayError("gateway closed with requests in flight")
+                )
+                continue
             future: asyncio.Future[
                 tuple[SearchResult, TimingBreakdown]
             ] = loop.create_future()
@@ -272,7 +294,12 @@ class ServingGateway:
         return outcome
 
     async def aclose(self) -> None:
-        """Stop the dispatcher; pending attempts fail as unavailable."""
+        """Stop the dispatcher; pending attempts fail as unavailable.
+
+        Idempotent; afterwards :meth:`submit` raises instead of silently
+        resurrecting the dispatcher on a half-torn-down gateway.
+        """
+        self._closed = True
         task = self._dispatcher
         self._dispatcher = None
         if task is not None:
@@ -281,14 +308,14 @@ class ServingGateway:
                 await task
             except asyncio.CancelledError:
                 pass
-        for state in self._tenants.values():
-            while state.queue:
-                attempt = state.queue.popleft()
-                self._pending_total -= 1
-                if not attempt.future.done():
-                    attempt.future.set_exception(
-                        GatewayError("gateway closed with requests in flight")
-                    )
+            except Exception as error:
+                # A crashed dispatcher already failed its riders;
+                # keep the cause for post-mortems instead of raising
+                # it again out of close.
+                self.dispatcher_crash = error
+        self._fail_pending(
+            GatewayError("gateway closed with requests in flight")
+        )
 
     # -- internals -----------------------------------------------------
 
@@ -331,6 +358,8 @@ class ServingGateway:
         )
 
     def _ensure_dispatcher(self) -> None:
+        if self._closed:
+            return
         if self._wake is None:
             self._wake = asyncio.Event()
         self._wake.set()
@@ -351,10 +380,35 @@ class ServingGateway:
                 await asyncio.sleep(0)
             wake.clear()
             while self._pending_total > 0:
-                self._serve_batch(self._next_batch())
+                batch = self._next_batch()
+                try:
+                    await self._serve_batch(batch)
+                except Exception as error:
+                    # A non-EMAP exception is a bug, not a classified
+                    # failure — but dying silently would strand every
+                    # submitter on a future nobody will resolve.  Fail
+                    # the in-flight riders and the queues, then let the
+                    # task end with the real traceback.
+                    failure = GatewayError(
+                        f"gateway dispatcher crashed: {error!r}"
+                    )
+                    for _, attempt in batch:
+                        if not attempt.future.done():
+                            attempt.future.set_exception(failure)
+                    self._fail_pending(failure)
+                    raise
                 # Yield so resolved submitters run (and may re-enqueue
                 # retries) before the next batch is drained.
                 await asyncio.sleep(0)
+
+    def _fail_pending(self, failure: GatewayError) -> None:
+        """Fail every queued attempt (dispatcher crash or close)."""
+        for state in self._tenants.values():
+            while state.queue:
+                attempt = state.queue.popleft()
+                self._pending_total -= 1
+                if not attempt.future.done():
+                    attempt.future.set_exception(failure)
 
     def _next_batch(self) -> list[tuple[_TenantState, _PendingAttempt]]:
         """Round-robin drain: one request per tenant per rotation.
@@ -381,14 +435,21 @@ class ServingGateway:
                 empty_scans += 1
         return batch
 
-    def _serve_batch(
+    async def _serve_batch(
         self, batch: list[tuple[_TenantState, _PendingAttempt]]
     ) -> None:
         if not batch:
             return
         frames = [attempt.frame for _, attempt in batch]
         try:
-            served = self.server.handle_batch(frames)
+            if self.config.offload_batches:
+                served = await asyncio.get_running_loop().run_in_executor(
+                    None, self.server.handle_batch, frames
+                )
+            else:
+                # Inline is a deliberate trade: the simulation-speed
+                # path accepts stalling the loop for one plane walk.
+                served = self.server.handle_batch(frames)  # emaplint: disable=EM007
         except EMAPError as error:
             # The whole batch failed before any per-tenant stage: every
             # rider sees the same endpoint error through its driver.

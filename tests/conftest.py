@@ -6,6 +6,8 @@ once for the whole suite.
 
 from __future__ import annotations
 
+import asyncio
+
 import pytest
 
 from repro.datasets.registry import scaled_registry
@@ -13,6 +15,30 @@ from repro.mdb.builder import MDBBuilder
 from repro.signals.anomalies import AnomalySpec, make_anomalous_signal
 from repro.signals.generator import EEGGenerator
 from repro.signals.types import AnomalyType
+
+
+@pytest.fixture(autouse=True)
+def _sanitized_event_loops(monkeypatch, request):
+    """``EMAP_SANITIZE=1``: route every ``asyncio.run`` in the suite
+    through the runtime sanitizer (loop stalls, task leaks, SharedMemory
+    leaks become hard failures).  The CI ``sanitize`` lane sets the gate;
+    tier-1 runs see a no-op fixture.
+    """
+    from repro.obs import sanitize
+
+    if not sanitize.sanitize_enabled():
+        yield
+        return
+    if request.node.fspath.basename == "test_obs_sanitize.py":
+        # The sanitizer's own tests manage instrumentation explicitly.
+        yield
+        return
+
+    def _sanitized_run(main, *, debug=None):
+        return sanitize.run_sanitized(main)
+
+    monkeypatch.setattr(asyncio, "run", _sanitized_run)
+    yield
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,269 @@
+"""Gateway shutdown, cancellation, and dispatcher-crash semantics.
+
+Regression coverage for three defects the concurrency lint + sanitizer
+pass surfaced:
+
+1. a dispatcher task dying on a non-EMAP exception stranded every
+   submitter on a future nobody would ever resolve;
+2. a ``submit`` racing ``aclose`` could resurrect the dispatcher on a
+   half-torn-down gateway;
+3. the inline batched plane walk blocked the event loop for the whole
+   walk (EM007) — ``offload_batches`` routes it through an executor.
+
+In the CI ``sanitize`` lane (``EMAP_SANITIZE=1``) every ``asyncio.run``
+here additionally runs under the runtime sanitizer, so a reintroduced
+leak or stall fails the lane even if the assertions still pass.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro.cloud.client import ResilienceConfig
+from repro.cloud.server import CloudServer
+from repro.errors import GatewayError
+from repro.gateway import GatewayConfig, ServingGateway
+from repro.obs.sanitize import Sanitizer, run_sanitized
+from repro.signals.types import AnomalyType, SignalSlice
+
+#: fast-failing resilience so crash scenarios don't sit in backoff.
+FAST = ResilienceConfig(
+    max_retries=1, backoff_base_s=0.0, backoff_jitter=0.0
+)
+
+
+def _slices(seed: int = 7, n: int = 8):
+    rng = np.random.default_rng(seed)
+    return [
+        SignalSlice(
+            data=rng.standard_normal(400),
+            label=AnomalyType.SEIZURE if i % 3 == 0 else AnomalyType.NONE,
+            slice_id=f"s{seed}-{i}",
+        )
+        for i in range(n)
+    ]
+
+
+def _frame(seed: int = 9, samples: int = 256) -> np.ndarray:
+    return np.random.default_rng(seed).standard_normal(samples)
+
+
+class _CrashingServer(CloudServer):
+    """Raises a non-EMAP exception from the first ``crashes`` batches."""
+
+    def __init__(self, slices, crashes: int):
+        super().__init__(slices)
+        self.crashes = crashes
+
+    def handle_batch(self, frames):
+        if self.crashes > 0:
+            self.crashes -= 1
+            raise RuntimeError("plane walk bug")
+        return super().handle_batch(frames)
+
+
+class TestDispatcherCrash:
+    def test_crash_fails_submitters_instead_of_hanging(self):
+        """Defect 1: a dead dispatcher must not strand its riders."""
+        server = _CrashingServer(_slices(), crashes=10)
+        gateway = ServingGateway(
+            server, GatewayConfig(resilience=FAST)
+        )
+
+        async def main():
+            try:
+                return await asyncio.wait_for(
+                    gateway.submit("tenant-a", _frame(), now_s=0.0),
+                    timeout=10.0,
+                )
+            finally:
+                await gateway.aclose()
+
+        outcome = asyncio.run(main())
+        assert not outcome.ok
+        assert outcome.attempts >= 1
+
+    def test_crash_cause_is_recorded_at_close(self):
+        server = _CrashingServer(_slices(), crashes=10)
+        gateway = ServingGateway(server, GatewayConfig(resilience=FAST))
+
+        async def main():
+            await gateway.submit("tenant-a", _frame(), now_s=0.0)
+            await gateway.aclose()
+
+        asyncio.run(main())
+        assert isinstance(gateway.dispatcher_crash, RuntimeError)
+
+    def test_dispatcher_restarts_after_crash(self):
+        """One bad batch must not take the gateway down for good."""
+        server = _CrashingServer(_slices(), crashes=1)
+        gateway = ServingGateway(server, GatewayConfig(resilience=FAST))
+
+        async def main():
+            try:
+                return await gateway.submit("tenant-a", _frame(), now_s=0.0)
+            finally:
+                await gateway.aclose()
+
+        # Attempt 1 rides the crashing batch; the retry rides a fresh
+        # dispatcher and succeeds.
+        outcome = asyncio.run(main())
+        assert outcome.ok
+        assert outcome.retries == 1
+
+
+class TestClosedGateway:
+    def test_submit_after_close_raises(self):
+        """Defect 2: no dispatcher resurrection on a closed gateway."""
+        gateway = ServingGateway(CloudServer(_slices()))
+
+        async def main():
+            await gateway.aclose()
+            with pytest.raises(GatewayError, match="closed"):
+                await gateway.submit("tenant-a", _frame(), now_s=0.0)
+            assert gateway._dispatcher is None
+
+        asyncio.run(main())
+
+    def test_aclose_is_idempotent(self):
+        gateway = ServingGateway(CloudServer(_slices()))
+
+        async def main():
+            await gateway.submit("tenant-a", _frame(), now_s=0.0)
+            await gateway.aclose()
+            await gateway.aclose()
+
+        asyncio.run(main())
+
+    def test_close_with_requests_in_flight_fails_them_cleanly(self):
+        """Riders caught by ``aclose`` get classified failures — no
+        hang, no dispatcher restart from their retry attempts."""
+        # A long coalesce window parks the dispatcher before it serves,
+        # so the queued attempts are still pending at close time.
+        gateway = ServingGateway(
+            CloudServer(_slices()),
+            GatewayConfig(coalesce_window_s=30.0, resilience=FAST),
+        )
+
+        async def main():
+            submits = [
+                asyncio.create_task(
+                    gateway.submit("tenant-a", _frame(i), now_s=0.0)
+                )
+                for i in range(3)
+            ]
+            while gateway.pending < 3:
+                await asyncio.sleep(0)
+            await gateway.aclose()
+            return await asyncio.gather(*submits)
+
+        outcomes = asyncio.run(main())
+        assert all(not outcome.ok for outcome in outcomes)
+        assert gateway.pending == 0
+        assert gateway._dispatcher is None
+
+
+class TestOffloadedBatches:
+    def test_offload_returns_identical_results(self):
+        slices = _slices()
+        frame = _frame()
+
+        async def run_with(offload: bool):
+            gateway = ServingGateway(
+                CloudServer(slices),
+                GatewayConfig(offload_batches=offload),
+            )
+            try:
+                return await gateway.submit("tenant-a", frame, now_s=0.0)
+            finally:
+                await gateway.aclose()
+
+        inline = asyncio.run(run_with(False))
+        offloaded = asyncio.run(run_with(True))
+        assert inline.ok and offloaded.ok
+        assert [
+            (m.sig_slice.slice_id, m.offset, m.omega)
+            for m in inline.result.matches
+        ] == [
+            (m.sig_slice.slice_id, m.offset, m.omega)
+            for m in offloaded.result.matches
+        ]
+
+    def test_offload_keeps_the_loop_responsive(self):
+        """Defect 3: with offload on, a slow walk is not a loop stall."""
+
+        class _SlowServer(CloudServer):
+            def handle_batch(self, frames):
+                time.sleep(0.2)  # the blocking walk under test
+                return super().handle_batch(frames)
+
+        gateway = ServingGateway(
+            _SlowServer(_slices()),
+            GatewayConfig(offload_batches=True),
+        )
+        sanitizer = Sanitizer(
+            stall_threshold_s=0.1, poll_interval_s=0.02, track_memory=False
+        )
+
+        async def main():
+            try:
+                return await gateway.submit("tenant-a", _frame(), now_s=0.0)
+            finally:
+                await gateway.aclose()
+
+        outcome = run_sanitized(main(), sanitizer=sanitizer)
+        assert outcome.ok
+        assert sanitizer.report.stalls == []
+
+
+class TestSanitizedLifecycle:
+    def test_normal_lifecycle_leaks_nothing(self):
+        """The full submit → close flow under the sanitizer: no pending
+        task, segment, or stall — the dispatcher is truly reaped."""
+        gateway = ServingGateway(CloudServer(_slices()))
+        sanitizer = Sanitizer(track_memory=False)
+
+        async def main():
+            outcomes = await asyncio.gather(
+                *(
+                    gateway.submit(f"tenant-{i % 2}", _frame(i), now_s=0.0)
+                    for i in range(4)
+                )
+            )
+            await gateway.aclose()
+            return outcomes
+
+        outcomes = run_sanitized(main(), sanitizer=sanitizer)
+        assert all(outcome.ok for outcome in outcomes)
+        assert sanitizer.report.ok, sanitizer.report.render()
+
+    def test_unclosed_gateway_is_flagged_as_a_task_leak(self):
+        """The sanitizer catches what the static pass cannot: a gateway
+        dropped without ``aclose`` leaves its dispatcher pending."""
+        from repro.errors import SanitizerError
+
+        gateway = ServingGateway(
+            CloudServer(_slices()),
+            # Park the dispatcher so it is still pending at exit.
+            GatewayConfig(coalesce_window_s=30.0, resilience=FAST),
+        )
+        sanitizer = Sanitizer(track_memory=False)
+
+        async def main():
+            task = asyncio.create_task(
+                gateway.submit("tenant-a", _frame(), now_s=0.0)
+            )
+            while gateway.pending < 1:
+                await asyncio.sleep(0)
+            task.cancel()  # caller gave up; gateway never closed
+
+        with pytest.raises(SanitizerError, match="pending at exit"):
+            run_sanitized(main(), sanitizer=sanitizer)
+        assert any(
+            "_dispatch_loop" in leaked
+            for leaked in sanitizer.report.leaked_tasks
+        )

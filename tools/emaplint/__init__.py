@@ -23,17 +23,33 @@ opt-out.
 
 from __future__ import annotations
 
-from emaplint.engine import LintEngine, LintResult, SourceFile
-from emaplint.registry import RULES, Finding, Rule, all_rules, rule
+from emaplint.engine import (
+    STALE_RULE_ID,
+    LintCache,
+    LintEngine,
+    LintResult,
+    SourceFile,
+)
+from emaplint.registry import (
+    RULES,
+    Finding,
+    ProjectRule,
+    Rule,
+    all_rules,
+    rule,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Finding",
+    "LintCache",
     "LintEngine",
     "LintResult",
+    "ProjectRule",
     "RULES",
     "Rule",
+    "STALE_RULE_ID",
     "SourceFile",
     "all_rules",
     "rule",

@@ -10,7 +10,7 @@ import argparse
 import sys
 from typing import IO, Sequence
 
-from emaplint.engine import LintEngine
+from emaplint.engine import LintCache, LintEngine
 from emaplint.registry import RULES
 from emaplint.reporters import render_json, render_text
 
@@ -51,6 +51,21 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--no-stale",
+        action="store_true",
+        help="do not flag stale (no-op) suppression comments",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="FILE",
+        help="JSON result cache: loaded if present, rewritten after the run",
+    )
+    parser.add_argument(
+        "--json-output",
+        metavar="FILE",
+        help="also write the JSON report to FILE (for CI artifacts)",
+    )
     return parser
 
 
@@ -80,9 +95,13 @@ def main(argv: Sequence[str] | None = None, stream: IO[str] | None = None) -> in
         parser.print_usage(out)
         out.write("emaplint: error: no paths given\n")
         return 2
+    cache = LintCache.load(args.cache) if args.cache else None
     try:
         engine = LintEngine(
-            select=_parse_codes(args.select), ignore=_parse_codes(args.ignore)
+            select=_parse_codes(args.select),
+            ignore=_parse_codes(args.ignore),
+            report_stale=not args.no_stale,
+            cache=cache,
         )
     except ValueError as error:
         out.write(f"emaplint: error: {error} (known: {', '.join(sorted(RULES))})\n")
@@ -92,6 +111,11 @@ def main(argv: Sequence[str] | None = None, stream: IO[str] | None = None) -> in
     except FileNotFoundError as error:
         out.write(f"emaplint: error: {error}\n")
         return 2
+    if cache is not None and args.cache:
+        cache.save(args.cache)
+    if args.json_output:
+        with open(args.json_output, "w", encoding="utf-8") as handle:
+            render_json(result, handle)
     if args.format == "json":
         render_json(result, out)
     else:

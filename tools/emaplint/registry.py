@@ -61,6 +61,9 @@ class Rule(ast.NodeVisitor):
     id: str = "EM000"
     name: str = "abstract-rule"
     rationale: str = ""
+    #: Project-wide rules run once over the pass-1 model instead of
+    #: once per file; see :class:`ProjectRule`.
+    project_wide: bool = False
     #: Sequences of path components that must appear contiguously for
     #: the rule to apply; empty means "applies everywhere".
     include_parts: tuple[tuple[str, ...], ...] = ()
@@ -98,6 +101,41 @@ class Rule(ast.NodeVisitor):
 
     def finish(self, tree: ast.Module) -> None:
         """Hook for whole-file checks; default does nothing."""
+
+
+class ProjectRule(Rule):
+    """A rule that runs once per lint run over the whole-project model.
+
+    Pass 2 instantiates project rules a single time and calls
+    :meth:`check_project` with the pass-1 :class:`~emaplint.project.ProjectModel`;
+    findings carry the path of the file they belong to (use
+    :meth:`report_at`), and the engine applies per-file suppression and
+    — when scoping is on — the rule's ``include_parts``/``exclude_parts``
+    to each finding's own path.  The *model* always covers every linted
+    file, so a scoped project rule still sees cross-module context from
+    out-of-scope files.
+    """
+
+    project_wide = True
+
+    def __init__(self, path: str = "<project>") -> None:
+        super().__init__(path)
+
+    def check_project(self, model: object) -> None:
+        """Analyse the :class:`~emaplint.project.ProjectModel`."""
+
+    def report_at(
+        self, path: str, line: int, col: int, message: str
+    ) -> None:
+        self.findings.append(
+            Finding(
+                path=path,
+                line=line,
+                col=col,
+                rule_id=self.id,
+                message=message,
+            )
+        )
 
 
 #: id -> rule class; populated by the :func:`rule` decorator at import

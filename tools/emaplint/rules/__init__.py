@@ -15,4 +15,10 @@ from emaplint.rules import (  # noqa: F401  (registration side effects)
     em004_float_eq,
     em005_annotations,
     em006_exceptions,
+    em007_async_blocking,
+    em008_task_leak,
+    em009_generation_cache,
+    em010_metric_names,
+    em011_postfork_mutation,
+    em012_await_lock,
 )

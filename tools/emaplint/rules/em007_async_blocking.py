@@ -1,0 +1,132 @@
+"""EM007: no blocking call reachable from async context.
+
+The serving gateway's dispatcher and every tenant coroutine share one
+event loop; a single blocking call anywhere in their call graphs stalls
+*all* tenants at once — the "event-loop stall" performance-anomaly
+class the iAnomaly line of work shows generic testing misses.  This
+rule walks the pass-1 call graph from every ``async def`` in the
+project and flags blocking primitives (``time.sleep``, subprocess and
+socket I/O, file writes, ``Lock.acquire``) and long compute kernels
+(``np.correlate``-class calls, the compiled plane-walk entry points)
+wherever they are reachable — not just when called directly from a
+coroutine.
+
+Routing work through an executor is the sanctioned escape hatch:
+``loop.run_in_executor(None, fn, ...)`` and ``asyncio.to_thread(fn)``
+pass ``fn`` *by reference*, so the model records no call edge and the
+blocked work correctly disappears from the loop's reachability set.
+"""
+
+from __future__ import annotations
+
+from emaplint.project import ProjectModel
+from emaplint.registry import ProjectRule, rule
+
+#: External callables that block the calling thread.
+BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "socket.create_connection",
+        "socket.socket",
+        "urllib.request.urlopen",
+        "os.system",
+        "os.waitpid",
+        "input",
+    }
+)
+
+#: External blocking-call *prefixes* (module families).
+BLOCKING_PREFIXES = ("requests.", "shutil.", "http.client.")
+
+#: Long compute kernels: numpy correlation/FFT class work that takes
+#: milliseconds-to-seconds at serving scale.  One of these on the loop
+#: is a stall even though it never syscalls.
+KERNEL_CALLS = frozenset(
+    {
+        "numpy.correlate",
+        "numpy.convolve",
+        "numpy.fft.rfft",
+        "numpy.fft.irfft",
+        "numpy.fft.fft",
+        "numpy.fft.ifft",
+        "scipy.signal.correlate",
+        "scipy.signal.fftconvolve",
+    }
+)
+
+#: Project entry points that *are* plane-walk kernels.  The call graph
+#: cannot see through ``self.search_engine.search`` Protocol dispatch,
+#: so the compiled-search surface is declared blocking by contract:
+#: a batched walk takes ~1-100 ms and must ride an executor, never the
+#: loop.
+KERNEL_PROJECT_CALLS = frozenset(
+    {
+        "repro.cloud.server:CloudServer.handle_frame",
+        "repro.cloud.server:CloudServer.handle_batch",
+        "repro.edge.fleet:FleetTracker.step_all",
+    }
+)
+
+#: Method names that block when invoked on a lock-ish receiver.
+_LOCK_ACQUIRE = "acquire"
+
+
+@rule
+class AsyncBlocking(ProjectRule):
+    id = "EM007"
+    name = "no-blocking-call-in-async-context"
+    rationale = (
+        "A blocking call reachable from a coroutine stalls the shared "
+        "event loop for every tenant; blocking work must ride "
+        "run_in_executor/to_thread, which the call graph recognises "
+        "as a by-reference handoff."
+    )
+    include_parts = (("src", "repro"),)
+
+    def check_project(self, model: ProjectModel) -> None:
+        reachable = model.reachable_from(model.async_roots())
+        for qname, path in sorted(reachable.items()):
+            function = model.functions[qname]
+            for site in function.calls:
+                label = self._blocking_label(site.callee, site.external)
+                if label is None:
+                    continue
+                root = path[0]
+                via = (
+                    " via " + " -> ".join(p.split(":")[1] for p in path)
+                    if len(path) > 1
+                    else ""
+                )
+                self.report_at(
+                    function.path,
+                    site.line,
+                    site.col + 1,
+                    f"{label} {site.callee.split(':')[-1]!r} is reachable "
+                    f"from async {root.split(':')[1]!r}{via}; route it "
+                    "through loop.run_in_executor/asyncio.to_thread or "
+                    "use the async equivalent",
+                )
+
+    @staticmethod
+    def _blocking_label(callee: str, external: bool) -> str | None:
+        if not external:
+            if callee in KERNEL_PROJECT_CALLS:
+                return "plane-walk kernel"
+            return None
+        if callee in BLOCKING_CALLS:
+            return "blocking call"
+        if callee.startswith(BLOCKING_PREFIXES):
+            return "blocking call"
+        if callee in KERNEL_CALLS:
+            return "compute kernel"
+        if (
+            callee.endswith(f".{_LOCK_ACQUIRE}")
+            and "lock" in callee.rsplit(".", 2)[-2].lower()
+        ):
+            return "lock acquisition"
+        return None

@@ -1,0 +1,136 @@
+"""EM008: no fire-and-forget ``asyncio.create_task``.
+
+A task whose handle is dropped is invisible: asyncio keeps only a weak
+reference, so the task can be garbage-collected mid-flight, and an
+exception it raises is reported (at best) as "Task exception was never
+retrieved" long after the fact.  The gateway's dispatcher is exactly
+this shape of bug when mismanaged — a background task that dies
+silently leaves every submitter awaiting a future nobody will resolve.
+
+The handle must be *retained*: stored on ``self``/in a container,
+awaited, cancelled, or passed onward (``gather``, a callback
+registry).  Assigning to a local that is never read again is the same
+leak with extra steps, and is flagged too.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from emaplint.registry import ImportMap, Rule, dotted_name, rule
+
+#: Fully-resolved callables that spawn an unreferenced task.
+_SPAWNERS = frozenset({"asyncio.create_task", "asyncio.ensure_future"})
+
+
+def _is_spawner(node: ast.Call, imports: ImportMap) -> bool:
+    dotted = dotted_name(node.func)
+    if dotted is None:
+        return False
+    if imports.resolve(dotted) in _SPAWNERS:
+        return True
+    # ``loop.create_task(...)`` — any receiver that looks like an event
+    # loop.  TaskGroup.create_task is structured concurrency and is
+    # deliberately not matched (``tg.create_task`` receivers).
+    parts = dotted.split(".")
+    return (
+        len(parts) >= 2
+        and parts[-1] == "create_task"
+        and "loop" in parts[-2].lower()
+    )
+
+
+@rule
+class TaskLeak(Rule):
+    id = "EM008"
+    name = "no-fire-and-forget-create-task"
+    rationale = (
+        "asyncio holds only a weak reference to tasks: a dropped "
+        "handle can be garbage-collected mid-flight and its exception "
+        "is never retrieved — retain the handle (store, await, cancel, "
+        "or gather it)."
+    )
+
+    def visit_Module(self, node: ast.Module) -> None:
+        self._imports = ImportMap().collect(node)
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_function(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_function(node)
+        self.generic_visit(node)
+
+    def _check_function(
+        self, function: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        for statement in self._own_scope(function):
+            # Case 1: bare expression statement — handle discarded on
+            # the spot.
+            if (
+                isinstance(statement, ast.Expr)
+                and isinstance(statement.value, ast.Call)
+                and _is_spawner(statement.value, self._imports)
+            ):
+                self.report(
+                    statement.value,
+                    "task handle discarded: asyncio keeps only a weak "
+                    "reference, so this task can vanish mid-flight and "
+                    "its exception is never retrieved",
+                )
+            # Case 2: assigned to a local that is never read again.
+            elif (
+                isinstance(statement, ast.Assign)
+                and len(statement.targets) == 1
+                and isinstance(statement.targets[0], ast.Name)
+                and isinstance(statement.value, ast.Call)
+                and _is_spawner(statement.value, self._imports)
+            ):
+                name = statement.targets[0].id
+                if not self._is_read(function, name, statement):
+                    self.report(
+                        statement.value,
+                        f"task handle {name!r} is never awaited, "
+                        "cancelled, or stored — the assignment only "
+                        "hides the fire-and-forget",
+                    )
+
+    @staticmethod
+    def _own_scope(function: ast.FunctionDef | ast.AsyncFunctionDef):
+        """Descendants of ``function`` excluding nested definitions.
+
+        Nested functions report through their own visit; walking into
+        them here would double-count.
+        """
+        stack = list(ast.iter_child_nodes(function))
+        while stack:
+            node = stack.pop()
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    @staticmethod
+    def _is_read(
+        function: ast.FunctionDef | ast.AsyncFunctionDef,
+        name: str,
+        assignment: ast.Assign,
+    ) -> bool:
+        """Whether ``name`` is loaded anywhere else in ``function``.
+
+        Any load counts as retention — an await, ``.cancel()``, an
+        append into a task list, a return, or capture by a nested
+        function.
+        """
+        for node in ast.walk(function):
+            if (
+                isinstance(node, ast.Name)
+                and node.id == name
+                and isinstance(node.ctx, ast.Load)
+            ):
+                return True
+        return False

@@ -1,0 +1,143 @@
+"""EM011: pool-task code must not mutate module-level state.
+
+The persistent search pool gives every request two lives: the parent
+schedules ``pool.submit(_pool_search_chunk, ...)`` and the function
+body runs in a **forked (or spawned) worker**.  Module-level state
+mutated on the task path exists once per worker copy — the mutation is
+invisible to the parent and to sibling workers, diverges between
+``fork`` and ``spawn`` start methods, and silently resets when the
+pool is rebuilt on a generation change.
+
+The sanctioned pattern is the ``initializer=`` entry point: it runs
+once per worker at pool construction, and rebuilding module state
+*there* (``global _WORKER_STATE``) is exactly how
+``repro.cloud.parallel`` attaches workers to the shared plane.  This
+rule therefore walks the pass-1 call graph from every **task** entry
+point (``submit``/``map``/``apply_async`` arguments, ``target=``
+keywords) — initializer-only functions are exempt — and flags module-
+global mutations anywhere in the reachable set, cross-module.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from emaplint.project import FunctionInfo, ModuleInfo, ProjectModel
+from emaplint.registry import ProjectRule, dotted_name, rule
+
+#: Method calls that mutate their receiver in place.
+_MUTATOR_METHODS = frozenset(
+    {
+        "append", "appendleft", "add", "update", "clear", "extend",
+        "insert", "remove", "discard", "pop", "popleft", "popitem",
+        "setdefault",
+    }
+)
+
+
+def _local_names(function: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Names bound locally (params + stores), minus ``global`` names."""
+    args = function.args
+    names = {
+        arg.arg
+        for arg in (
+            *args.posonlyargs, *args.args, *args.kwonlyargs,
+            *([args.vararg] if args.vararg else []),
+            *([args.kwarg] if args.kwarg else []),
+        )
+    }
+    declared_global: set[str] = set()
+    for node in ast.walk(function):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            names.add(node.id)
+        elif isinstance(node, ast.Global):
+            declared_global.update(node.names)
+    return names - declared_global
+
+
+@rule
+class PostForkMutation(ProjectRule):
+    id = "EM011"
+    name = "no-module-state-mutation-in-pool-tasks"
+    rationale = (
+        "A module-global mutated on the pool task path lives once per "
+        "worker copy: parents and siblings never see it, fork and "
+        "spawn disagree, and pool rebuilds silently reset it — rebuild "
+        "worker state in the initializer or ship it through task "
+        "arguments."
+    )
+    include_parts = (("src", "repro"),)
+
+    def check_project(self, model: ProjectModel) -> None:
+        task_roots, _initializer_roots = model.worker_entries()
+        reachable = model.reachable_from(task_roots)
+        for qname in sorted(reachable):
+            function = model.functions[qname]
+            info = model.modules[function.path]
+            root = reachable[qname][0]
+            self._check_function(model, info, function, root)
+
+    def _check_function(
+        self,
+        model: ProjectModel,
+        info: ModuleInfo,
+        function: FunctionInfo,
+        root: str,
+    ) -> None:
+        local = _local_names(function.node)
+        declared_global = {
+            name
+            for node in ast.walk(function.node)
+            if isinstance(node, ast.Global)
+            for name in node.names
+        }
+
+        def is_module_global(name: str) -> bool:
+            if name in local:
+                return False
+            return name in info.module_globals or name in declared_global
+
+        def flag(node: ast.AST, name: str, how: str) -> None:
+            fn_name = function.qname.split(":")[1]
+            root_name = root.split(":")[1]
+            self.report_at(
+                function.path,
+                getattr(node, "lineno", function.node.lineno),
+                getattr(node, "col_offset", 0) + 1,
+                f"{how} of module-level {name!r} in {fn_name!r}, which "
+                f"runs post-fork in pool workers (task entry "
+                f"{root_name!r}): the mutation is per-worker-copy and "
+                "invisible to the parent — rebuild state in the pool "
+                "initializer or pass it through task arguments",
+            )
+
+        for node in ast.walk(function.node):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id in declared_global
+                        and is_module_global(target.id)
+                    ):
+                        flag(node, target.id, "rebinding")
+                    elif isinstance(target, ast.Subscript):
+                        base = dotted_name(target.value)
+                        if base is not None and is_module_global(
+                            base.split(".")[0]
+                        ):
+                            flag(node, base.split(".")[0], "keyed write")
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATOR_METHODS
+            ):
+                base = dotted_name(node.func.value)
+                if base is not None and is_module_global(
+                    base.split(".")[0]
+                ):
+                    flag(node, base.split(".")[0], "in-place mutation")

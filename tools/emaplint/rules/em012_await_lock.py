@@ -1,0 +1,141 @@
+"""EM012: no ``await`` while holding a lock or mid-queue-mutation.
+
+Two torn-state shapes the event loop makes easy to write and hard to
+debug:
+
+* ``await`` inside a **synchronous** ``with lock:`` block.  The
+  coroutine suspends while the thread lock stays held; every other
+  thread (the metrics registry, a pool callback) blocks for however
+  long the awaited I/O takes — and if the resumed coroutine path tries
+  to re-acquire, the loop deadlocks.  ``async with asyncio.Lock()`` is
+  the correct tool and is not flagged.
+* ``await`` **between a pop and a re-push** of the same shared
+  container.  The popped item exists only in a local while the
+  coroutine is suspended; a cancellation or exception at the await
+  loses it, and any observer sees queue state mid-mutation (the
+  gateway's requeue-on-retry dance is exactly this pattern).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from emaplint.registry import Rule, dotted_name, rule
+
+#: Receiver-name fragments that mark a context manager as a thread lock.
+_LOCKISH = ("lock", "mutex", "sem")
+
+#: Container methods that remove / re-insert an element.
+_POPS = frozenset({"pop", "popleft", "get_nowait"})
+_PUSHES = frozenset({"append", "appendleft", "put_nowait", "insert"})
+
+
+def _lockish_context(item: ast.withitem) -> str | None:
+    """The dotted name of a lock-like context expression, else None."""
+    expr = item.context_expr
+    if isinstance(expr, ast.Call):
+        expr = expr.func
+    dotted = dotted_name(expr)
+    if dotted is None:
+        return None
+    tail = dotted.split(".")[-1].lower()
+    if any(fragment in tail for fragment in _LOCKISH):
+        return dotted
+    return None
+
+
+def _walk_same_coroutine(root: ast.AST):
+    """Yield ``root``'s descendants without entering nested functions.
+
+    An ``await`` inside a nested ``async def`` suspends *that*
+    coroutine, not the enclosing one, so nested definitions are opaque
+    for both checks.
+    """
+    stack = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@rule
+class AwaitUnderLock(Rule):
+    id = "EM012"
+    name = "no-await-holding-lock-or-mid-mutation"
+    rationale = (
+        "Suspending while a thread lock is held blocks every other "
+        "thread for the awaited duration (and invites loop deadlock); "
+        "suspending between a pop and a re-push leaves shared queue "
+        "state torn across the await."
+    )
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_sync_with(node)
+        self._check_torn_queue(node)
+        self.generic_visit(node)
+
+    # -- await under a synchronous lock --------------------------------
+
+    def _check_sync_with(self, function: ast.AsyncFunctionDef) -> None:
+        for node in _walk_same_coroutine(function):
+            if not isinstance(node, ast.With):  # async with is fine
+                continue
+            held = [
+                name
+                for item in node.items
+                if (name := _lockish_context(item)) is not None
+            ]
+            if not held:
+                continue
+            for sub in node.body:
+                for inner in [sub, *_walk_same_coroutine(sub)]:
+                    if isinstance(inner, ast.Await):
+                        self.report(
+                            inner,
+                            f"await while holding synchronous lock "
+                            f"{held[0]!r}: the lock stays held across "
+                            "the suspension — use asyncio.Lock with "
+                            "'async with', or release before awaiting",
+                        )
+
+    # -- await between pop and re-push ----------------------------------
+
+    def _check_torn_queue(self, function: ast.AsyncFunctionDef) -> None:
+        pops: dict[str, int] = {}
+        pushes: dict[str, int] = {}
+        awaits: list[ast.Await] = []
+        for node in _walk_same_coroutine(function):
+            if isinstance(node, ast.Await):
+                awaits.append(node)
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                receiver = dotted_name(node.func.value)
+                if receiver is None:
+                    continue
+                if node.func.attr in _POPS:
+                    line = pops.get(receiver, node.lineno)
+                    pops[receiver] = min(line, node.lineno)
+                elif node.func.attr in _PUSHES:
+                    line = pushes.get(receiver, node.lineno)
+                    pushes[receiver] = max(line, node.lineno)
+        for receiver, pop_line in pops.items():
+            push_line = pushes.get(receiver)
+            if push_line is None or push_line <= pop_line:
+                continue
+            for node in awaits:
+                if pop_line < node.lineno < push_line:
+                    self.report(
+                        node,
+                        f"await between pop (line {pop_line}) and "
+                        f"re-push (line {push_line}) of shared "
+                        f"{receiver!r}: a cancellation here loses the "
+                        "popped item and observers see the container "
+                        "mid-mutation — finish the mutation before "
+                        "suspending",
+                    )
+                    break

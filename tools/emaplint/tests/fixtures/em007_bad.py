@@ -1,0 +1,24 @@
+"""EM007 bad twin: blocking work reachable from coroutines."""
+
+import subprocess
+import threading
+import time
+
+
+def load_model() -> int:
+    time.sleep(0.5)  # blocks the loop through handler()
+    return 1
+
+
+def guard() -> None:
+    lock = threading.Lock()
+    lock.acquire()  # thread-lock acquisition on the loop
+
+
+async def handler() -> int:
+    guard()
+    return load_model()
+
+
+async def probe() -> None:
+    subprocess.run(["true"], check=False)  # direct blocking call

@@ -1,0 +1,20 @@
+"""EM007 good twin: blocking work rides the executor, by reference."""
+
+import asyncio
+import time
+
+
+def load_model() -> int:
+    time.sleep(0.5)  # fine: only ever runs on an executor thread
+    return 1
+
+
+async def handler() -> int:
+    loop = asyncio.get_running_loop()
+    value = await loop.run_in_executor(None, load_model)
+    await asyncio.sleep(0.01)
+    return value
+
+
+async def threaded() -> int:
+    return await asyncio.to_thread(load_model)

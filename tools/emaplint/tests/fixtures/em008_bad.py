@@ -1,0 +1,20 @@
+"""EM008 bad twin: fire-and-forget task spawns."""
+
+import asyncio
+
+
+async def work() -> None:
+    await asyncio.sleep(0)
+
+
+async def fire() -> None:
+    asyncio.create_task(work())  # handle discarded outright
+
+
+async def hidden() -> None:
+    task = asyncio.create_task(work())  # assigned, never read again
+
+
+async def on_loop() -> None:
+    loop = asyncio.get_event_loop()
+    loop.create_task(work())  # discarded via the loop API

@@ -1,0 +1,26 @@
+"""EM008 good twin: every task handle is retained."""
+
+import asyncio
+
+
+async def work() -> None:
+    await asyncio.sleep(0)
+
+
+async def awaited() -> None:
+    task = asyncio.create_task(work())
+    await task
+
+
+async def cancelled() -> None:
+    task = asyncio.create_task(work())
+    task.cancel()
+
+
+async def stored(tasks: list) -> None:
+    tasks.append(asyncio.create_task(work()))
+
+
+async def gathered() -> None:
+    tasks = [asyncio.create_task(work()) for _ in range(3)]
+    await asyncio.gather(*tasks)

@@ -1,0 +1,37 @@
+"""EM009 bad twin: generation bumps that leave keyed caches alive."""
+
+
+class Store:
+    def __init__(self) -> None:
+        self.generation = 0
+        self._norm_cache: dict[int, int] = {}
+
+    def lookup(self, key: int) -> int:
+        if key not in self._norm_cache:
+            self._norm_cache[key] = key * 2
+        return self._norm_cache[key]
+
+    def insert(self, item: int) -> None:
+        self.generation += 1  # cache survives: stale derived state
+
+    def replace(self, item: int) -> None:
+        self.generation += 1  # fine: cleared below
+        self._norm_cache.clear()
+
+
+class Core:
+    def __init__(self) -> None:
+        self._window_cache: dict[int, int] = {}
+
+    def get(self, key: int) -> int:
+        self._window_cache[key] = key
+        return self._window_cache[key]
+
+
+class Plane:
+    def __init__(self) -> None:
+        self.core = Core()
+        self.data_version = 0
+
+    def mutate(self) -> None:
+        self.data_version += 1  # carrier (and its caches) survives

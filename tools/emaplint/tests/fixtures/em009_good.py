@@ -1,0 +1,42 @@
+"""EM009 good twin: every bump path drops the keyed caches."""
+
+
+class Store:
+    def __init__(self) -> None:
+        self.generation = 0
+        self._norm_cache: dict[int, int] = {}
+
+    def lookup(self, key: int) -> int:
+        if key not in self._norm_cache:
+            self._norm_cache[key] = key * 2
+        return self._norm_cache[key]
+
+    def insert(self, item: int) -> None:
+        self.generation += 1
+        self._norm_cache.clear()
+
+    def rebuild(self, item: int) -> None:
+        self.generation += 1
+        self._drop_caches()  # delegated invalidation counts
+
+    def _drop_caches(self) -> None:
+        self._norm_cache = {}
+
+
+class Core:
+    def __init__(self) -> None:
+        self._window_cache: dict[int, int] = {}
+
+    def get(self, key: int) -> int:
+        self._window_cache[key] = key
+        return self._window_cache[key]
+
+
+class Plane:
+    def __init__(self) -> None:
+        self.core = Core()
+        self.data_version = 0
+
+    def mutate(self) -> None:
+        self.core = Core()  # carrier reassigned: caches dropped
+        self.data_version += 1

@@ -1,0 +1,12 @@
+"""EM010 bad twin: emissions drifting from the registry."""
+
+from repro import obs
+
+
+def handle(kind: str) -> None:
+    registry = obs.metrics()
+    registry.inc("app.requests")  # registered, right kind
+    registry.inc("app.latency_s")  # registered as histogram: kind drift
+    registry.observe("app.typo_s", 1.0)  # not registered at all
+    registry.inc(f"app.fault.{kind}")  # registered family
+    registry.observe(f"app.unknown.{kind}", 2.0)  # unregistered family

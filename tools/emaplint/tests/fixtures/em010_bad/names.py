@@ -1,0 +1,11 @@
+"""EM010 bad twin: the registry half (one entry is a ghost)."""
+
+METRIC_NAMES: dict[str, str] = {
+    "app.requests": "counter",
+    "app.latency_s": "histogram",
+    "app.ghost": "counter",
+}
+
+METRIC_PREFIXES: dict[str, str] = {
+    "app.fault.": "counter",
+}

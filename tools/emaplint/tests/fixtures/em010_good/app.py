@@ -1,0 +1,18 @@
+"""EM010 good twin: every emission matches the registry (and back)."""
+
+from repro import obs
+
+
+def _record(name: str) -> None:
+    """Emitter helper: call sites count as counter emissions."""
+    registry = obs.metrics()
+    if registry.enabled:
+        registry.inc(name)
+
+
+def handle(kind: str) -> None:
+    registry = obs.metrics()
+    registry.observe("app.latency_s", 1.0)
+    registry.set_gauge("app.depth", 3.0)
+    registry.inc(f"app.fault.{kind}")
+    _record("app.requests")

@@ -1,0 +1,11 @@
+"""EM010 good twin: the registry half."""
+
+METRIC_NAMES: dict[str, str] = {
+    "app.requests": "counter",
+    "app.latency_s": "histogram",
+    "app.depth": "gauge",
+}
+
+METRIC_PREFIXES: dict[str, str] = {
+    "app.fault.": "counter",
+}

@@ -1,0 +1,27 @@
+"""EM011 bad twin: pool-task code mutating module-level state."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+_RESULTS: dict[int, int] = {}
+_STATE = None
+
+
+def _task(item: int) -> int:
+    _RESULTS[item] = item * 2  # keyed write, per-worker copy only
+    _helper(item)
+    _rebind(item)
+    return item
+
+
+def _helper(item: int) -> None:
+    _RESULTS.update({item: item})  # in-place mutation, cross-module safe?
+
+
+def _rebind(flag: int) -> None:
+    global _STATE
+    _STATE = flag  # rebinding a module global post-fork
+
+
+def run(items: list) -> list:
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(_task, items))

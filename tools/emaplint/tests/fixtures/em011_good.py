@@ -1,0 +1,23 @@
+"""EM011 good twin: worker state rebuilt in the initializer."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+_STATE = None
+
+
+def _initializer(seed: int) -> None:
+    global _STATE
+    _STATE = seed  # sanctioned: runs once per worker at pool start
+
+
+def _task(item: int) -> tuple:
+    local: dict[int, int] = {}
+    local[item] = item  # locals are free to mutate
+    return _STATE, local
+
+
+def run(items: list) -> list:
+    with ProcessPoolExecutor(
+        initializer=_initializer, initargs=(1,)
+    ) as pool:
+        return list(pool.map(_task, items))

@@ -1,0 +1,21 @@
+"""EM012 bad twin: awaits that tear shared state."""
+
+import asyncio
+import threading
+from collections import deque
+
+_lock = threading.Lock()
+
+
+class Worker:
+    def __init__(self) -> None:
+        self._queue: deque = deque()
+
+    async def drain(self) -> None:
+        item = self._queue.popleft()
+        await asyncio.sleep(0.1)  # cancellation here loses the item
+        self._queue.appendleft(item)
+
+    async def guarded(self) -> None:
+        with _lock:
+            await asyncio.sleep(0.1)  # thread lock held across suspend

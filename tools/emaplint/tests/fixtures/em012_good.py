@@ -1,0 +1,27 @@
+"""EM012 good twin: mutations finish before suspending."""
+
+import asyncio
+from collections import deque
+
+
+class Worker:
+    def __init__(self) -> None:
+        self._queue: deque = deque()
+        self._alock = asyncio.Lock()
+
+    async def drain(self) -> None:
+        item = self._queue.popleft()
+        await asyncio.sleep(0.1)  # no re-push pending: state consistent
+        self._consume(item)
+
+    def _consume(self, item: object) -> None:
+        pass
+
+    async def guarded(self) -> None:
+        async with self._alock:  # asyncio lock: suspension is the point
+            await asyncio.sleep(0.1)
+
+    async def requeue(self) -> None:
+        item = self._queue.popleft()
+        self._queue.appendleft(item)  # mutation completes first
+        await asyncio.sleep(0.1)

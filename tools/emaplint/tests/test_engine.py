@@ -2,11 +2,14 @@
 
 import io
 import json
+import time
+from pathlib import Path
 
 import pytest
 
 from emaplint.cli import main
-from emaplint.engine import LintEngine
+from emaplint.engine import STALE_RULE_ID, LintCache, LintEngine
+from emaplint.registry import all_rules
 
 BAD_FLOAT_EQ = "def f(x: float) -> bool:\n    return x == 0.5\n"
 
@@ -118,3 +121,229 @@ def test_cli_select_and_ignore(tmp_path):
     assert main(["--select=EM001", str(target)], stream=out) == 0
     out = io.StringIO()
     assert main(["--ignore=EM004", str(target)], stream=out) == 0
+
+
+# -- stale suppressions ------------------------------------------------
+
+
+def test_stale_suppression_is_flagged():
+    source = "x = 1  # emaplint: disable=EM004\n"
+    result = LintEngine(select=["EM004"], scoped=False).lint_source(source)
+    assert len(result.findings) == 1
+    assert result.findings[0].rule_id == STALE_RULE_ID
+    assert "nothing is suppressed here" in result.findings[0].message
+
+
+def test_exercised_suppression_is_not_stale():
+    source = (
+        "def f(x: float) -> bool:\n"
+        "    return x == 0.5  # emaplint: disable=EM004\n"
+    )
+    result = LintEngine(select=["EM004"], scoped=False).lint_source(source)
+    assert result.findings == []
+
+
+def test_unknown_rule_suppression_is_stale():
+    source = "x = 1  # emaplint: disable=EM998\n"
+    result = LintEngine(scoped=False).lint_source(source)
+    assert [f.rule_id for f in result.findings] == [STALE_RULE_ID]
+    assert "unknown rule id" in result.findings[0].message
+
+
+def test_out_of_scope_suppression_is_stale():
+    # EM005 only applies to the hot-path surface; suppressing it in a
+    # signals module can never silence anything.
+    source = "x = 1  # emaplint: disable=EM005\n"
+    result = LintEngine(select=["EM005"]).lint_source(
+        source, path="src/repro/signals/filters.py"
+    )
+    assert [f.rule_id for f in result.findings] == [STALE_RULE_ID]
+    assert "does not apply" in result.findings[0].message
+
+
+def test_stale_reporting_can_be_disabled():
+    source = "x = 1  # emaplint: disable=EM004\n"
+    engine = LintEngine(select=["EM004"], scoped=False, report_stale=False)
+    assert engine.lint_source(source).findings == []
+
+
+def test_stale_finding_is_not_itself_suppressible():
+    source = "x = 1  # emaplint: disable=EM004, emaplint: disable=EM099\n"
+    result = LintEngine(select=["EM004"], scoped=False).lint_source(source)
+    assert STALE_RULE_ID in {f.rule_id for f in result.findings}
+
+
+def test_suppression_of_unselected_rule_is_not_judged():
+    # The run can't tell whether EM001 would have fired; don't flag it.
+    source = "x = 1  # emaplint: disable=EM001\n"
+    result = LintEngine(select=["EM004"], scoped=False).lint_source(source)
+    assert result.findings == []
+
+
+# -- result caching ----------------------------------------------------
+
+
+def test_cache_reuses_per_file_and_project_results():
+    cache = LintCache()
+    items = [("src/repro/mod.py", BAD_FLOAT_EQ)]
+    engine = LintEngine(cache=cache)
+    cold = engine.lint_sources(items)
+    assert cache.misses > 0 and cache.hits == 0
+    warm_engine = LintEngine(cache=cache)
+    warm = warm_engine.lint_sources(items)
+    assert cache.hits >= 2  # one file entry + one project entry
+    assert [f.render() for f in warm.findings] == [
+        f.render() for f in cold.findings
+    ]
+
+
+def test_cache_suppressions_resolve_on_warm_runs():
+    source = (
+        "def f(x: float) -> bool:\n"
+        "    return x == 0.5  # emaplint: disable=EM004\n"
+    )
+    cache = LintCache()
+    items = [("src/repro/mod.py", source)]
+    LintEngine(cache=cache).lint_sources(items)
+    warm = LintEngine(cache=cache).lint_sources(items)
+    assert warm.findings == []
+    assert len(warm.suppressed) == 1
+
+
+def test_cache_invalidates_on_content_change():
+    cache = LintCache()
+    engine = LintEngine(cache=cache)
+    engine.lint_sources([("src/repro/mod.py", BAD_FLOAT_EQ)])
+    misses_before = cache.misses
+    changed = BAD_FLOAT_EQ.replace("0.5", "0.75")
+    result = engine.lint_sources([("src/repro/mod.py", changed)])
+    assert cache.misses > misses_before
+    assert any(f.rule_id == "EM004" for f in result.findings)
+
+
+def test_project_cache_invalidates_when_any_file_changes():
+    # EM007's finding in work.py depends on the *caller* in driver.py:
+    # editing the caller must invalidate the project entry even though
+    # work.py itself is byte-identical.
+    work = "import time\n\ndef load():\n    time.sleep(1)\n"
+    caller = (
+        "from repro.work import load\n\n"
+        "async def handler():\n    return load()\n"
+    )
+    items = [("src/repro/work.py", work), ("src/repro/driver.py", caller)]
+    cache = LintCache()
+    engine = LintEngine(select=["EM007"], cache=cache)
+    first = engine.lint_sources(items)
+    assert len(first.findings) == 1
+    severed = [
+        ("src/repro/work.py", work),
+        ("src/repro/driver.py", "def handler():\n    return 1\n"),
+    ]
+    second = engine.lint_sources(severed)
+    assert second.findings == []
+
+
+def test_cache_round_trips_through_json(tmp_path):
+    cache = LintCache()
+    items = [("src/repro/mod.py", BAD_FLOAT_EQ)]
+    LintEngine(cache=cache).lint_sources(items)
+    path = tmp_path / "lint-cache.json"
+    cache.save(path)
+    reloaded = LintCache.load(path)
+    warm = LintEngine(cache=reloaded).lint_sources(items)
+    assert reloaded.hits >= 2
+    assert any(f.rule_id == "EM004" for f in warm.findings)
+
+
+def test_cache_load_tolerates_garbage(tmp_path):
+    path = tmp_path / "corrupt.json"
+    path.write_text("{not json")
+    cache = LintCache.load(path)
+    assert cache.per_file == {} and cache.project == {}
+    assert LintCache.load(tmp_path / "missing.json").per_file == {}
+
+
+def test_two_pass_overhead_stays_bounded():
+    """Satellite gate: the project pass costs < ~2x the per-file pass.
+
+    Times the real tree (src/repro) with per-file rules only versus the
+    full two-pass rule set; generous slack keeps CI noise out.
+    """
+    root = Path(__file__).resolve().parents[3] / "src"
+    items = [
+        (str(path), path.read_text())
+        for path in LintEngine.discover([root])
+    ]
+    per_file_ids = [
+        cls.id for cls in all_rules() if not cls.project_wide
+    ]
+    single = LintEngine(select=per_file_ids)
+    double = LintEngine()
+
+    def best_of(engine):
+        timings = []
+        for _ in range(2):
+            start = time.perf_counter()
+            engine.lint_sources(items)
+            timings.append(time.perf_counter() - start)
+        return min(timings)
+
+    single_s = best_of(single)
+    double_s = best_of(double)
+    assert double_s < 2.0 * single_s + 0.25, (single_s, double_s)
+
+
+def test_warm_cached_run_is_faster_than_cold():
+    root = Path(__file__).resolve().parents[3] / "src"
+    items = [
+        (str(path), path.read_text())
+        for path in LintEngine.discover([root])
+    ]
+    cache = LintCache()
+    engine = LintEngine(cache=cache)
+    start = time.perf_counter()
+    engine.lint_sources(items)
+    cold_s = time.perf_counter() - start
+    start = time.perf_counter()
+    warm_result = LintEngine(cache=cache).lint_sources(items)
+    warm_s = time.perf_counter() - start
+    assert warm_result.files_checked == len(items)
+    assert cache.hits >= len(items)
+    assert warm_s < cold_s
+
+
+# -- CLI flags ---------------------------------------------------------
+
+
+def test_cli_no_stale_flag(tmp_path):
+    target = tmp_path / "prog.py"
+    target.write_text("x = 1  # emaplint: disable=EM004\n")
+    out = io.StringIO()
+    assert main([str(target)], stream=out) == 1
+    assert STALE_RULE_ID in out.getvalue()
+    out = io.StringIO()
+    assert main(["--no-stale", str(target)], stream=out) == 0
+
+
+def test_cli_cache_file_round_trip(tmp_path):
+    target = tmp_path / "prog.py"
+    target.write_text(BAD_FLOAT_EQ)
+    cache_file = tmp_path / "cache.json"
+    out = io.StringIO()
+    assert main([f"--cache={cache_file}", str(target)], stream=out) == 1
+    assert cache_file.is_file()
+    out = io.StringIO()
+    assert main([f"--cache={cache_file}", str(target)], stream=out) == 1
+    assert "EM004" in out.getvalue()
+
+
+def test_cli_json_output_artifact(tmp_path):
+    target = tmp_path / "prog.py"
+    target.write_text(BAD_FLOAT_EQ)
+    artifact = tmp_path / "report.json"
+    out = io.StringIO()
+    assert main([f"--json-output={artifact}", str(target)], stream=out) == 1
+    document = json.loads(artifact.read_text())
+    assert document["findings"][0]["rule"] == "EM004"
+    # the artifact rides along with the normal text report
+    assert "EM004" in out.getvalue()

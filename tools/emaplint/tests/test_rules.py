@@ -1,5 +1,11 @@
 """Per-rule fixture tests: each rule fires on its minimal bad example
-and stays silent on the good twin."""
+and stays silent on the good twin.
+
+Single-file rules use an ``emNNN_{bad,good}.py`` fixture pair; rules
+that need cross-file context (EM010's registry-vs-emitter split) use an
+``emNNN_{bad,good}/`` fixture *directory* whose files are linted
+together as one project.
+"""
 
 from pathlib import Path
 
@@ -18,34 +24,58 @@ EXPECTED_BAD_FINDINGS = {
     "EM004": 2,
     "EM005": 5,
     "EM006": 2,
+    "EM007": 3,
+    "EM008": 3,
+    "EM009": 2,
+    "EM010": 4,
+    "EM011": 3,
+    "EM012": 2,
 }
 
 
+def _fixture_target(rule_id: str, twin: str) -> Path:
+    directory = FIXTURES / f"{rule_id.lower()}_{twin}"
+    if directory.is_dir():
+        return directory
+    return FIXTURES / f"{rule_id.lower()}_{twin}.py"
+
+
 def _lint_fixture(rule_id: str, twin: str):
-    path = FIXTURES / f"{rule_id.lower()}_{twin}.py"
+    target = _fixture_target(rule_id, twin)
     engine = LintEngine(select=[rule_id], scoped=False)
-    return engine.lint_source(path.read_text(), path=str(path))
+    if target.is_dir():
+        items = [
+            (str(path), path.read_text())
+            for path in sorted(target.glob("*.py"))
+        ]
+        return engine.lint_sources(items)
+    return engine.lint_source(target.read_text(), path=str(target))
 
 
 @pytest.mark.parametrize("rule_id", sorted(EXPECTED_BAD_FINDINGS))
 def test_rule_fires_on_bad_fixture(rule_id):
     result = _lint_fixture(rule_id, "bad")
-    assert len(result.findings) == EXPECTED_BAD_FINDINGS[rule_id]
+    assert len(result.findings) == EXPECTED_BAD_FINDINGS[rule_id], [
+        finding.render() for finding in result.findings
+    ]
     assert {finding.rule_id for finding in result.findings} == {rule_id}
 
 
 @pytest.mark.parametrize("rule_id", sorted(EXPECTED_BAD_FINDINGS))
 def test_rule_silent_on_good_fixture(rule_id):
     result = _lint_fixture(rule_id, "good")
-    assert result.findings == []
+    assert result.findings == [], [
+        finding.render() for finding in result.findings
+    ]
 
 
 def test_every_registered_rule_has_fixture_coverage():
     registered = {cls.id for cls in all_rules()}
     assert registered == set(EXPECTED_BAD_FINDINGS)
     for rule_id in registered:
-        assert (FIXTURES / f"{rule_id.lower()}_bad.py").is_file()
-        assert (FIXTURES / f"{rule_id.lower()}_good.py").is_file()
+        for twin in ("bad", "good"):
+            target = _fixture_target(rule_id, twin)
+            assert target.is_dir() or target.is_file(), target
 
 
 def test_rule_metadata_complete():
@@ -70,3 +100,48 @@ def test_em005_scoped_to_hot_paths():
     assert len(hot.findings) == 2  # unannotated param + missing return
     cold = scoped.lint_source(source, path="src/repro/signals/filters.py")
     assert cold.findings == []
+
+
+def test_em007_scoped_findings_keep_out_of_scope_context():
+    """A scoped project rule still *uses* out-of-scope files as context.
+
+    The async caller lives outside ``src/repro`` here, so no finding is
+    reported there — but the blocking callee inside ``src/repro`` is
+    still discovered through that caller.
+    """
+    callee = "import time\n\ndef load():\n    time.sleep(1)\n"
+    caller = (
+        "from repro.work import load\n\n"
+        "async def handler():\n    return load()\n"
+    )
+    engine = LintEngine(select=["EM007"])  # scoping on
+    result = engine.lint_sources(
+        [
+            ("src/repro/work.py", callee),
+            ("benchmarks/driver.py", caller),
+        ]
+    )
+    assert [f.path for f in result.findings] == ["src/repro/work.py"]
+    assert "time.sleep" in result.findings[0].message
+
+
+def test_em007_executor_handoff_not_an_edge():
+    source = (
+        "import asyncio\nimport time\n\n"
+        "def load():\n    time.sleep(1)\n\n"
+        "async def handler():\n"
+        "    loop = asyncio.get_running_loop()\n"
+        "    await loop.run_in_executor(None, load)\n"
+    )
+    engine = LintEngine(select=["EM007"], scoped=False)
+    assert engine.lint_source(source, path="mod.py").findings == []
+
+
+def test_em010_silent_without_registry_module():
+    """No names.py in the linted set: nothing to pin against."""
+    source = (
+        "from repro import obs\n\n"
+        "def f():\n    obs.metrics().inc('anything.at.all')\n"
+    )
+    engine = LintEngine(select=["EM010"], scoped=False)
+    assert engine.lint_source(source, path="app.py").findings == []
