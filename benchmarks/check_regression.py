@@ -78,6 +78,21 @@ It fails when:
   host.  Fast-mode *quality* is gated separately by the Fig. 11 bench
   (``test_bench_two_stage_throughput.py``).
 
+**Shard gate** — runs the same single-document insert stream against
+the monolithic full-rebuild plane and the sharded delta-refresh plane
+(``benchmarks/baselines/shard_throughput.json``).  It fails when:
+
+* the sharded results stop being **bit-identical** to the monolithic
+  plane after any insert — never acceptable;
+* ``shards_compiled`` drifts from the baseline — each single-document
+  insert must compile exactly its delta shard (content addressing is
+  deterministic, so drift means reuse broke);
+* the delta-refresh speedup falls below the **5x absolute floor** over
+  the full rebuild — self-normalising, both arms share the host.  The
+  floor is the sharded plane's reason to exist: an online-growing MDB
+  must adopt a single inserted slice without paying the whole store's
+  recompile.
+
 Regenerate the baselines after an intentional change with::
 
     python benchmarks/check_regression.py --update
@@ -113,6 +128,9 @@ DEFAULT_GATEWAY_BASELINE = (
 DEFAULT_TWO_STAGE_BASELINE = (
     REPO_ROOT / "benchmarks" / "baselines" / "two_stage_throughput.json"
 )
+DEFAULT_SHARD_BASELINE = (
+    REPO_ROOT / "benchmarks" / "baselines" / "shard_throughput.json"
+)
 DEFAULT_METRICS_OUT = REPO_ROOT / "benchmark_reports" / "fig7b_obs_metrics.json"
 DEFAULT_DB_SIZES = (500, 1000, 2000)
 PLANE_SPEEDUP_FLOOR = 3.0
@@ -128,6 +146,9 @@ EDGE_PLANE_CANDIDATES = 100
 EDGE_PLANE_N_FRAMES = 12
 TWO_STAGE_SPEEDUP_FLOOR = 2.0
 TWO_STAGE_N_QUERIES = 12
+SHARD_DELTA_SPEEDUP_FLOOR = 5.0
+SHARD_SLICES_PER_SHARD = 16
+SHARD_N_INSERTS = 4
 
 
 def run_benchmark(mdb_scale: float, seed: int, db_sizes: tuple[int, ...]) -> dict:
@@ -183,6 +204,19 @@ def run_two_stage_benchmark(mdb_scale: float, seed: int) -> dict:
         fixture, n_queries=TWO_STAGE_N_QUERIES
     )
     return two_stage_throughput.summarize(result, mdb_scale=mdb_scale, seed=seed)
+
+
+def run_shard_benchmark(mdb_scale: float, seed: int) -> dict:
+    """One sharded-plane adoption run, summarised for baseline/compare."""
+    import shard_throughput
+
+    fixture = build_fixture(mdb_scale=mdb_scale, seed=seed)
+    result = shard_throughput.run_shard_throughput(
+        fixture,
+        shard_slices=SHARD_SLICES_PER_SHARD,
+        n_inserts=SHARD_N_INSERTS,
+    )
+    return shard_throughput.summarize(result, mdb_scale=mdb_scale, seed=seed)
 
 
 def run_gateway_benchmark(mdb_scale: float, seed: int) -> dict:
@@ -367,6 +401,33 @@ def compare_two_stage(summary: dict, baseline: dict) -> list[str]:
     return failures
 
 
+def compare_shards(summary: dict, baseline: dict) -> list[str]:
+    """Gate failures for the sharded-plane adoption bench (empty = pass)."""
+    failures: list[str] = []
+    if not summary["identical"]:
+        failures.append(
+            "sharded plane results diverged from the monolithic plane "
+            "after an insert — matches or correlations_evaluated are no "
+            "longer bit-identical"
+        )
+    if summary["shards_compiled"] != baseline["shards_compiled"]:
+        failures.append(
+            "shards_compiled drifted from baseline "
+            f"({summary['shards_compiled']} vs "
+            f"{baseline['shards_compiled']}) — content addressing is "
+            "deterministic, so an insert stopped compiling exactly its "
+            "delta shard"
+        )
+    if summary["delta_speedup"] < SHARD_DELTA_SPEEDUP_FLOOR:
+        failures.append(
+            f"shard delta-refresh speedup {summary['delta_speedup']:.2f}x "
+            f"fell below the {SHARD_DELTA_SPEEDUP_FLOOR:.0f}x floor over "
+            f"the full rebuild (baseline {baseline['delta_speedup']:.2f}x) "
+            "— incremental compilation regression"
+        )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
@@ -403,6 +464,14 @@ def main(argv: list[str] | None = None) -> int:
         "--skip-two-stage",
         action="store_true",
         help="skip the two-stage search throughput gate",
+    )
+    parser.add_argument(
+        "--shard-baseline", type=Path, default=DEFAULT_SHARD_BASELINE
+    )
+    parser.add_argument(
+        "--skip-shards",
+        action="store_true",
+        help="skip the sharded-plane incremental-compile gate",
     )
     parser.add_argument(
         "--update", action="store_true", help="rewrite the baseline and exit 0"
@@ -494,6 +563,20 @@ def main(argv: list[str] | None = None) -> int:
             )
         )
 
+    shard_summary = None
+    if not args.skip_shards:
+        shard_summary = run_shard_benchmark(args.mdb_scale, args.seed)
+        print(
+            "shards: delta refresh {0:.2f}x over full rebuild "
+            "({1} inserts, {2} compiled / {3} reused, identical={4})".format(
+                shard_summary["delta_speedup"],
+                shard_summary["config"]["n_inserts"],
+                shard_summary["shards_compiled"],
+                shard_summary["shards_reused"],
+                shard_summary["identical"],
+            )
+        )
+
     if args.update:
         args.baseline.parent.mkdir(parents=True, exist_ok=True)
         args.baseline.write_text(json.dumps(summary, indent=2) + "\n")
@@ -522,6 +605,12 @@ def main(argv: list[str] | None = None) -> int:
                 json.dumps(two_stage_summary, indent=2) + "\n"
             )
             print(f"baseline updated: {args.two_stage_baseline}")
+        if shard_summary is not None:
+            args.shard_baseline.parent.mkdir(parents=True, exist_ok=True)
+            args.shard_baseline.write_text(
+                json.dumps(shard_summary, indent=2) + "\n"
+            )
+            print(f"baseline updated: {args.shard_baseline}")
         return 0
 
     missing = [
@@ -536,6 +625,7 @@ def main(argv: list[str] | None = None) -> int:
                 if two_stage_summary is not None
                 else []
             )
+            + ([args.shard_baseline] if shard_summary is not None else [])
         )
         if not path.exists()
     ]
@@ -561,6 +651,9 @@ def main(argv: list[str] | None = None) -> int:
     if two_stage_summary is not None:
         two_stage_baseline = json.loads(args.two_stage_baseline.read_text())
         failures += compare_two_stage(two_stage_summary, two_stage_baseline)
+    if shard_summary is not None:
+        shard_baseline = json.loads(args.shard_baseline.read_text())
+        failures += compare_shards(shard_summary, shard_baseline)
     if failures:
         print("benchmark regression gate FAILED:", file=sys.stderr)
         for failure in failures:
@@ -590,6 +683,12 @@ def main(argv: list[str] | None = None) -> int:
             f", {TWO_STAGE_SPEEDUP_FLOOR:.0f}x two-stage floor vs "
             f"{args.two_stage_baseline.name}"
             if two_stage_summary is not None
+            else ""
+        )
+        + (
+            f", {SHARD_DELTA_SPEEDUP_FLOOR:.0f}x shard floor vs "
+            f"{args.shard_baseline.name}"
+            if shard_summary is not None
             else ""
         )
         + ")"

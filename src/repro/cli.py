@@ -221,6 +221,14 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="append the collected gateway.* metrics report",
     )
+    serve.add_argument(
+        "--shard-slices",
+        type=int,
+        default=None,
+        help="slices per compiled plane shard (default: the sharded "
+        "plane's built-in width); smaller shards make online inserts "
+        "cheaper to adopt, larger ones amortise per-shard overheads",
+    )
     _add_two_stage(serve)
     return parser
 
@@ -483,11 +491,18 @@ def _cmd_serve(args: argparse.Namespace) -> str | tuple[str, int]:
     from repro.eval.experiments.common import build_fixture
     from repro.gateway import build_frame_pool, run_fleet
 
+    from repro.cloud.shards import DEFAULT_SHARD_SLICES
+
     fixture = build_fixture(mdb_scale=args.mdb_scale, seed=args.seed)
     server = CloudServer(
         fixture.slices,
         search=SlidingWindowSearch(
             SearchConfig(two_stage=args.two_stage), precompute=True
+        ),
+        shard_slices=(
+            args.shard_slices
+            if args.shard_slices is not None
+            else DEFAULT_SHARD_SLICES
         ),
     )
     try:

@@ -7,6 +7,9 @@
 * :mod:`repro.cloud.search` — the search engine with pluggable skip
   policies: Algorithm 1's exponential sliding window and the
   exhaustive (β = 1) baseline it is compared against in Figs. 7 & 11.
+* :mod:`repro.cloud.shards` — the sharded plane: independently
+  compiled, content-addressed segments with incremental (delta-shard)
+  recompilation behind immutable per-generation epochs.
 * :mod:`repro.cloud.parallel` — sample-balanced partitioning plus the
   persistent shared-memory worker pool.
 * :mod:`repro.cloud.server` — the CloudServer facade used by the
@@ -42,6 +45,11 @@ from repro.cloud.search import (
     SlidingWindowSearch,
 )
 from repro.cloud.server import CloudServer
+from repro.cloud.shards import (
+    PlaneShard,
+    ShardEpoch,
+    ShardedSearchPlane,
+)
 
 __all__ = [
     "BreakerState",
@@ -54,12 +62,15 @@ __all__ = [
     "FixedSkipPolicy",
     "ParallelSearch",
     "PlaneCore",
+    "PlaneShard",
     "ResilienceConfig",
     "ResilientCloudClient",
     "SearchConfig",
     "SearchMatch",
     "SearchPlane",
     "SearchResult",
+    "ShardEpoch",
+    "ShardedSearchPlane",
     "SlidingWindowSearch",
     "merge_results",
     "partition_indices",

@@ -162,6 +162,67 @@ class ScreenOutcome:
         return kept, int(pruned.size), int(self.synthetic[pruned].sum())
 
 
+def assemble_lossless(
+    slice_ub: np.ndarray,
+    n_offsets: np.ndarray,
+    ceiling: float,
+    stride: int,
+    elapsed_s: float,
+) -> ScreenOutcome:
+    """Turn per-slice ω bounds into a lossless screening verdict.
+
+    Split out of :meth:`CoarseIndex.screen_lossless` so the sharded
+    plane can concatenate each shard's :meth:`CoarseIndex.lossless_bounds`
+    and assemble one global verdict with the identical operations.
+    """
+    keep = ~(slice_ub < ceiling)
+    synthetic = np.where(
+        n_offsets > 0, (n_offsets - 1) // stride + 1, 0
+    ).astype(np.int64)
+    finite = slice_ub[np.isfinite(slice_ub)]
+    margin = float(np.median(finite) - ceiling) if finite.size else 0.0
+    return ScreenOutcome(
+        mode="lossless",
+        keep=keep,
+        synthetic=synthetic,
+        margin=margin,
+        elapsed_s=elapsed_s,
+    )
+
+
+def assemble_fast(
+    scores: np.ndarray,
+    keep_fraction: float,
+    min_keep: int,
+    elapsed_s: float,
+) -> ScreenOutcome:
+    """Turn per-slice coarse scores into a fast-mode verdict.
+
+    The keep count and the lexsort tie-break run over the *global*
+    score vector, so sharded scans (which concatenate per-shard
+    :meth:`CoarseIndex.fast_scores`) select exactly the slices the
+    monolithic screen would.
+    """
+    n = scores.size
+    n_keep = min(n, max(min_keep, int(np.ceil(keep_fraction * n))))
+    keep = np.zeros(n, dtype=bool)
+    if n_keep >= n:
+        keep[:] = True
+        margin = 0.0
+    else:
+        order = np.lexsort((np.arange(n), -scores))
+        keep[order[:n_keep]] = True
+        floor = scores[order[n_keep - 1]] if n_keep else -np.inf
+        margin = float(floor) if np.isfinite(floor) else 0.0
+    return ScreenOutcome(
+        mode="fast",
+        keep=keep,
+        synthetic=np.zeros(n, dtype=np.int64),
+        margin=margin,
+        elapsed_s=elapsed_s,
+    )
+
+
 class CoarseIndex:
     """The compiled coarse screen for one ``(frame length, D)`` pair.
 
@@ -318,6 +379,11 @@ class CoarseIndex:
             + sum(phase.nbytes for phase in self._phases)
         )
 
+    @property
+    def slice_offset_counts(self) -> np.ndarray:
+        """Per-slice candidate-offset counts (``max(0, n - m + 1)``)."""
+        return self._n_offsets
+
     # -- query-side decomposition ------------------------------------
 
     def _query_parts(
@@ -358,6 +424,46 @@ class CoarseIndex:
 
     # -- screening ----------------------------------------------------
 
+    def lossless_bounds(
+        self, centered: np.ndarray, norm: float
+    ) -> np.ndarray:
+        """Per-slice upper bounds on ω (``-inf`` for offset-less slices).
+
+        The producer half of :meth:`screen_lossless`.  Each slice's
+        bound depends only on that slice's compiled summaries, so a
+        sharded plane concatenates per-shard bound vectors and gets the
+        monolithic vector bit-for-bit.
+        """
+        d = self.decimation
+        slice_ub = np.full(self.n_slices, -np.inf)
+        if norm < _NORM_EPSILON:
+            # A flat query correlates to exactly 0 everywhere; the
+            # zero bound is tight and certifies every slice at once.
+            slice_ub[:] = 0.0
+            return slice_ub
+        for phase in self._phases:
+            kernel, q_perp, head_norm, tail_norm = self._query_parts(
+                centered, phase
+            )
+            dots = np.correlate(self._padded, kernel, mode="valid")
+            estimate = dots[phase.corr_pos] / d
+            error = q_perp * phase.core_resid
+            if phase.head_norms is not None:
+                error = error + head_norm * phase.head_norms
+            if phase.tail_norms is not None:
+                error = error + tail_norm * phase.tail_norms
+            denominator = norm * phase.window_norms
+            flat = denominator < _NORM_EPSILON
+            safe = np.where(flat, 1.0, denominator)
+            bound = (estimate + error) / safe + BOUND_SLACK
+            bound[flat] = 0.0  # exact ω of a flat window is 0
+            np.maximum(
+                slice_ub,
+                _segment_max(bound, phase.bounds),
+                out=slice_ub,
+            )
+        return slice_ub
+
     def screen_lossless(
         self, centered: np.ndarray, norm: float, ceiling: float, stride: int
     ) -> ScreenOutcome:
@@ -371,49 +477,38 @@ class CoarseIndex:
         bit-identical to the single-stage engines.
         """
         started = time.perf_counter()
+        slice_ub = self.lossless_bounds(centered, norm)
+        return assemble_lossless(
+            slice_ub,
+            self._n_offsets,
+            ceiling,
+            stride,
+            time.perf_counter() - started,
+        )
+
+    def fast_scores(
+        self, centered: np.ndarray, norm: float
+    ) -> np.ndarray:
+        """Per-slice phase-0 coarse scores (``-inf`` for offset-less).
+
+        The producer half of :meth:`screen_fast`; like
+        :meth:`lossless_bounds` the scores are a pure per-slice
+        function, so sharded concatenation reproduces the monolithic
+        vector exactly.
+        """
         d = self.decimation
-        slice_ub = np.full(self.n_slices, -np.inf)
+        phase = self._phases[0]
         if norm < _NORM_EPSILON:
-            # A flat query correlates to exactly 0 everywhere; the
-            # zero bound is tight and certifies every slice at once.
-            slice_ub[:] = 0.0
-        else:
-            for phase in self._phases:
-                kernel, q_perp, head_norm, tail_norm = self._query_parts(
-                    centered, phase
-                )
-                dots = np.correlate(self._padded, kernel, mode="valid")
-                estimate = dots[phase.corr_pos] / d
-                error = q_perp * phase.core_resid
-                if phase.head_norms is not None:
-                    error = error + head_norm * phase.head_norms
-                if phase.tail_norms is not None:
-                    error = error + tail_norm * phase.tail_norms
-                denominator = norm * phase.window_norms
-                flat = denominator < _NORM_EPSILON
-                safe = np.where(flat, 1.0, denominator)
-                bound = (estimate + error) / safe + BOUND_SLACK
-                bound[flat] = 0.0  # exact ω of a flat window is 0
-                np.maximum(
-                    slice_ub,
-                    _segment_max(bound, phase.bounds),
-                    out=slice_ub,
-                )
-        keep = ~(slice_ub < ceiling)
-        synthetic = np.where(
-            self._n_offsets > 0, (self._n_offsets - 1) // stride + 1, 0
-        ).astype(np.int64)
-        finite = slice_ub[np.isfinite(slice_ub)]
-        margin = (
-            float(np.median(finite) - ceiling) if finite.size else 0.0
-        )
-        return ScreenOutcome(
-            mode="lossless",
-            keep=keep,
-            synthetic=synthetic,
-            margin=margin,
-            elapsed_s=time.perf_counter() - started,
-        )
+            return np.where(self._n_offsets > 0, 0.0, -np.inf)
+        kernel, _, _, _ = self._query_parts(centered, phase)
+        dots = np.correlate(self._padded, kernel, mode="valid")
+        estimate = dots[phase.corr_pos] / d
+        denominator = norm * phase.window_norms
+        flat = denominator < _NORM_EPSILON
+        safe = np.where(flat, 1.0, denominator)
+        score = estimate / safe
+        score[flat] = 0.0
+        return _segment_max(score, phase.bounds)
 
     def screen_fast(
         self,
@@ -430,35 +525,10 @@ class CoarseIndex:
         identical across whole-plane and chunked scans.
         """
         started = time.perf_counter()
-        d = self.decimation
-        phase = self._phases[0]
-        if norm < _NORM_EPSILON:
-            scores = np.where(self._n_offsets > 0, 0.0, -np.inf)
-        else:
-            kernel, _, _, _ = self._query_parts(centered, phase)
-            dots = np.correlate(self._padded, kernel, mode="valid")
-            estimate = dots[phase.corr_pos] / d
-            denominator = norm * phase.window_norms
-            flat = denominator < _NORM_EPSILON
-            safe = np.where(flat, 1.0, denominator)
-            score = estimate / safe
-            score[flat] = 0.0
-            scores = _segment_max(score, phase.bounds)
-        n = self.n_slices
-        n_keep = min(n, max(min_keep, int(np.ceil(keep_fraction * n))))
-        keep = np.zeros(n, dtype=bool)
-        if n_keep >= n:
-            keep[:] = True
-            margin = 0.0
-        else:
-            order = np.lexsort((np.arange(n), -scores))
-            keep[order[:n_keep]] = True
-            floor = scores[order[n_keep - 1]] if n_keep else -np.inf
-            margin = float(floor) if np.isfinite(floor) else 0.0
-        return ScreenOutcome(
-            mode="fast",
-            keep=keep,
-            synthetic=np.zeros(n, dtype=np.int64),
-            margin=margin,
-            elapsed_s=time.perf_counter() - started,
+        scores = self.fast_scores(centered, norm)
+        return assemble_fast(
+            scores,
+            keep_fraction,
+            min_keep,
+            time.perf_counter() - started,
         )

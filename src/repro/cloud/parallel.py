@@ -44,7 +44,9 @@ from repro.cloud.search import (
     PlaneWalker,
     TopK,
     screen_plane,
+    screen_shard_cores,
 )
+from repro.cloud.shards import ShardedSearchPlane, ShardedShareSpec
 from repro.errors import SearchError
 from repro.signals.types import SignalSlice
 
@@ -213,9 +215,98 @@ class _WorkerPlane:
             pass
 
 
+class _ShardWorkerPlane:
+    """Per-worker search state over an attached *sharded* plane.
+
+    Attaches every shard's segment once at pool construction; a chunk
+    request then names the **shard ids** to walk.  Screening stays
+    global (all shard cores) so the per-slice verdicts match the
+    in-process path exactly; hits come back keyed by global slice
+    index, rebased from each shard's ``bases`` entry.
+    """
+
+    def __init__(
+        self,
+        spec: ShardedShareSpec,
+        config: SearchConfig,
+        policy: SkipPolicy,
+    ) -> None:
+        attached = [shard_spec.attach() for shard_spec in spec.specs]
+        self.cores: list[PlaneCore] | None = [core for core, _ in attached]
+        self._segments = [segment for _, segment in attached]
+        self.bases = spec.bases
+        self.config = config
+        self.policy = policy
+
+    def search_chunk(
+        self, frame: np.ndarray, chunk_ids: Sequence[int]
+    ) -> _ChunkOutcome:
+        if self.cores is None:
+            raise SearchError("worker plane already released")
+        started = time.perf_counter()
+        query = np.asarray(frame, dtype=np.float64)
+        centered = query - query.mean()
+        norm = float(np.linalg.norm(centered))
+        top: TopK[tuple[int, float, int]] = TopK(self.config.top_k)
+        outcome = screen_shard_cores(
+            self.cores, self.config, self.policy, centered, norm
+        )
+        coarse_s = outcome.elapsed_s if outcome is not None else 0.0
+        n_pruned = 0
+        synthetic_total = 0
+        evaluated_total = 0
+        above_total = 0
+        slices_searched = 0
+        for k in chunk_ids:
+            core = self.cores[k]
+            base = self.bases[k]
+            scan = range(base, base + core.n_slices)
+            walk_ids: Sequence[int] | None = None
+            if outcome is not None:
+                kept, pruned, synthetic = outcome.apply(scan)
+                n_pruned += pruned
+                synthetic_total += synthetic
+                walk_ids = kept - base
+            walker = PlaneWalker(
+                core,
+                centered,
+                norm,
+                core.ensure_norms(self.config.frame_samples),
+                self.policy,
+                self.config.delta,
+                self.config.dedupe_per_slice,
+                indices=walk_ids,
+            )
+            hits, evaluated, above = walker.walk_all()
+            evaluated_total += evaluated
+            above_total += above
+            slices_searched += len(scan)
+            for index, omega, offset in hits:
+                top.offer(omega, (base + index, omega, offset))
+        return _ChunkOutcome(
+            correlations_evaluated=evaluated_total + synthetic_total,
+            slices_searched=slices_searched,
+            candidates_above_threshold=above_total,
+            heap_admissions=top.admissions,
+            elapsed_s=time.perf_counter() - started,
+            hits=top.sorted_items(),
+            slices_pruned=n_pruned,
+            coarse_elapsed_s=coarse_s,
+        )
+
+    def release(self) -> None:
+        """Drop array views, then close the shared-memory mappings."""
+        self.cores = None
+        for segment in self._segments:
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - exports still alive
+                pass
+
+
 #: The attached plane state of this worker process (set by the pool
 #: initializer; ``None`` in the parent).
-_WORKER_STATE: _WorkerPlane | None = None
+_WORKER_STATE: _WorkerPlane | _ShardWorkerPlane | None = None
 
 
 def _worker_cleanup() -> None:  # pragma: no cover - runs in workers
@@ -226,10 +317,15 @@ def _worker_cleanup() -> None:  # pragma: no cover - runs in workers
 
 
 def _pool_initializer(
-    spec: PlaneShareSpec, config: SearchConfig, policy: SkipPolicy
+    spec: PlaneShareSpec | ShardedShareSpec,
+    config: SearchConfig,
+    policy: SkipPolicy,
 ) -> None:  # pragma: no cover - runs in workers
     global _WORKER_STATE
-    _WORKER_STATE = _WorkerPlane(spec, config, policy)
+    if isinstance(spec, ShardedShareSpec):
+        _WORKER_STATE = _ShardWorkerPlane(spec, config, policy)
+    else:
+        _WORKER_STATE = _WorkerPlane(spec, config, policy)
     atexit.register(_worker_cleanup)
 
 
@@ -259,7 +355,7 @@ class ParallelSearch:
         config: SearchConfig | None = None,
         n_chunks: int = 4,
         n_workers: int = 1,
-        plane: SearchPlane | None = None,
+        plane: SearchPlane | ShardedSearchPlane | None = None,
         policy: SkipPolicy | None = None,
     ) -> None:
         if n_chunks < 1:
@@ -283,25 +379,31 @@ class ParallelSearch:
         self._adhoc_source_id: int | None = None
         self._pool: ProcessPoolExecutor | None = None
         self._pool_key: tuple[int, int] | None = None
+        self._closed = False
 
     # -- plane binding -----------------------------------------------
 
-    def bind(self, source: SearchPlane | Sequence[SignalSlice]) -> SearchPlane:
+    def bind(
+        self,
+        source: SearchPlane | ShardedSearchPlane | Sequence[SignalSlice],
+    ) -> SearchPlane | ShardedSearchPlane:
         """Make ``source`` the engine's current plane (compiling it if
         it is a plain slice list).
 
         Rebinding retires the previous binding deterministically: the
         worker pool (whose workers hold attachments to the previous
-        plane's shared-memory segment) is shut down, and a previous
+        plane's shared-memory segments) is shut down, and a previous
         plane the engine compiled itself is closed so its segment is
-        released now rather than at interpreter exit.
+        released now rather than at interpreter exit.  Binding also
+        revives a closed engine — the pool and shared segments are
+        rebuilt lazily on the next pooled search.
         """
         previous = self.plane
         if previous is not None and previous is not source:
             self._shutdown_pool()
             if self._owns_plane:
                 previous.close()
-        if isinstance(source, SearchPlane):
+        if isinstance(source, (SearchPlane, ShardedSearchPlane)):
             self.plane = source
             self._owns_plane = False
             self._adhoc_source_id = None
@@ -309,11 +411,15 @@ class ParallelSearch:
             self.plane = SearchPlane(source)
             self._owns_plane = True
             self._adhoc_source_id = id(source)
+        self._closed = False
         return self.plane
 
     def _resolve_plane(
-        self, slices: SearchPlane | Sequence[SignalSlice] | None
-    ) -> SearchPlane:
+        self,
+        slices: (
+            SearchPlane | ShardedSearchPlane | Sequence[SignalSlice] | None
+        ),
+    ) -> SearchPlane | ShardedSearchPlane:
         plane = self.plane
         if slices is None:
             if plane is None:
@@ -322,7 +428,7 @@ class ParallelSearch:
                     "or bind() one up front"
                 )
             return plane
-        if isinstance(slices, SearchPlane):
+        if isinstance(slices, (SearchPlane, ShardedSearchPlane)):
             if slices is not plane:
                 return self.bind(slices)
             return slices
@@ -339,7 +445,9 @@ class ParallelSearch:
     def search(
         self,
         frame: np.ndarray,
-        slices: SearchPlane | Sequence[SignalSlice] | None = None,
+        slices: (
+            SearchPlane | ShardedSearchPlane | Sequence[SignalSlice] | None
+        ) = None,
     ) -> SearchResult:
         """Global top-K search, identical in output to a single engine.
 
@@ -348,11 +456,24 @@ class ParallelSearch:
         ``elapsed_s`` is that span's wall time (dispatch + chunk scans
         + merge), and ``chunk_elapsed_s`` keeps every chunk's own
         latency so skew between workers stays visible.
+
+        A sharded plane is partitioned **by shard** (chunks balanced on
+        per-shard sample counts) instead of slicing one monolithic
+        layout — chunk boundaries then coincide with independently
+        compiled cores, so workers walk whole shards and reuse the
+        shard-local caches.
         """
+        if self._closed:
+            raise SearchError(
+                "this ParallelSearch is closed; bind() a new signal-set "
+                "source to revive it"
+            )
         plane = self._resolve_plane(slices)
         plane.refresh()
         query = np.asarray(frame, dtype=np.float64)
         self._engine.prepare_query(query)
+        if isinstance(plane, ShardedSearchPlane):
+            return self._search_sharded(query, plane)
         with obs.trace.span(
             "cloud.parallel_search",
             n_chunks=self.n_chunks,
@@ -371,21 +492,65 @@ class ParallelSearch:
                     for chunk in chunks
                 ]
                 partials = [
-                    self._outcome_to_result(future.result(), plane)
+                    self._outcome_to_result(future.result(), plane.slices)
                     for future in futures
                 ]
             merged = merge_results(partials, self.config.top_k)
         merged.elapsed_s = span.elapsed_s
+        self._publish_parallel(merged)
+        return merged
+
+    def _search_sharded(
+        self, query: np.ndarray, plane: ShardedSearchPlane
+    ) -> SearchResult:
+        """Partition one pinned epoch's shards across chunks and merge.
+
+        The epoch is pinned once for the whole scatter-gather, so a
+        concurrent ``refresh`` cannot hand different chunks different
+        generations; merging per-chunk top-Ks is exact for the same
+        reason it is in the monolithic path (the global top-K is a
+        subset of the union of chunk top-Ks).
+        """
+        epoch = plane.pin()
+        with obs.trace.span(
+            "cloud.parallel_search",
+            n_chunks=self.n_chunks,
+            n_workers=self.n_workers,
+        ) as span:
+            chunks = partition_indices(
+                epoch.shard_sample_counts(), self.n_chunks
+            )
+            if self.n_workers == 1:
+                partials = [
+                    self._engine.search_shards(query, epoch, chunk)
+                    for chunk in chunks
+                ]
+            else:
+                pool = self._ensure_pool(plane)
+                futures = [
+                    pool.submit(_pool_search_chunk, query, chunk)
+                    for chunk in chunks
+                ]
+                partials = [
+                    self._outcome_to_result(future.result(), epoch.slices)
+                    for future in futures
+                ]
+            merged = merge_results(partials, self.config.top_k)
+        merged.elapsed_s = span.elapsed_s
+        self._publish_parallel(merged)
+        return merged
+
+    @staticmethod
+    def _publish_parallel(merged: SearchResult) -> None:
         registry = obs.metrics()
         if registry.enabled:
             registry.observe("cloud.parallel.elapsed_s", merged.elapsed_s)
             for chunk_s in merged.chunk_elapsed_s:
                 registry.observe("cloud.parallel.chunk_elapsed_s", chunk_s)
-        return merged
 
     @staticmethod
     def _outcome_to_result(
-        outcome: _ChunkOutcome, plane: SearchPlane
+        outcome: _ChunkOutcome, slices: Sequence[SignalSlice]
     ) -> SearchResult:
         result = SearchResult(
             correlations_evaluated=outcome.correlations_evaluated,
@@ -398,7 +563,7 @@ class ParallelSearch:
         )
         result.matches = [
             SearchMatch(
-                sig_slice=plane.slices[index], omega=omega, offset=offset
+                sig_slice=slices[index], omega=omega, offset=offset
             )
             for index, omega, offset in outcome.hits
         ]
@@ -406,7 +571,9 @@ class ParallelSearch:
 
     # -- pool lifecycle ----------------------------------------------
 
-    def _ensure_pool(self, plane: SearchPlane) -> ProcessPoolExecutor:
+    def _ensure_pool(
+        self, plane: SearchPlane | ShardedSearchPlane
+    ) -> ProcessPoolExecutor:
         """The persistent worker pool for ``plane``'s current build.
 
         Reused across requests; torn down and rebuilt only when the
@@ -438,10 +605,18 @@ class ParallelSearch:
             self._pool_key = None
 
     def close(self) -> None:
-        """Shut the worker pool down and release owned plane resources."""
+        """Shut the worker pool down and release plane shared memory.
+
+        Idempotent.  A closed engine refuses :meth:`search` with a
+        clear :class:`SearchError`; :meth:`bind` revives it (the pool
+        and shared segments rebuild lazily on the next pooled search).
+        """
+        if self._closed:
+            return
+        self._closed = True
         self._shutdown_pool()
         if self.plane is not None:
-            # Releases only the shared-memory segment; the plane's
+            # Releases only the shared-memory segment(s); the plane's
             # compiled arrays stay usable (for borrowed planes too).
             self.plane.close()
 

@@ -27,15 +27,17 @@ Two interpretation notes (also in DESIGN.md):
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass
 from typing import Callable, Generic, Iterable, Protocol, Sequence, TypeVar
 
 import numpy as np
 
 from repro import obs
-from repro.cloud.coarse import ScreenOutcome
+from repro.cloud.coarse import ScreenOutcome, assemble_fast, assemble_lossless
 from repro.cloud.plane import PlaneCore, PlaneNorms, SearchPlane
 from repro.cloud.results import SearchMatch, SearchResult
+from repro.cloud.shards import ShardEpoch, ShardedSearchPlane
 from repro.errors import SearchError
 from repro.obs.tracing import Span
 from repro.signals.types import FRAME_SAMPLES, SignalSlice
@@ -253,6 +255,57 @@ def screen_plane(
         return index.screen_lossless(centered, norm, ceiling, stride)
     return index.screen_fast(
         centered, norm, config.coarse_keep_fraction, config.top_k
+    )
+
+
+def screen_shard_cores(
+    cores: Sequence[PlaneCore],
+    config: SearchConfig,
+    policy: SkipPolicy,
+    centered: np.ndarray,
+    norm: float,
+) -> ScreenOutcome | None:
+    """One *global* coarse verdict over the shard cores of one epoch.
+
+    Per-slice bounds/scores are pure per-slice functions, so each
+    shard's coarse index produces exactly the values the monolithic
+    index would (:meth:`CoarseIndex.lossless_bounds` /
+    :meth:`~CoarseIndex.fast_scores`); concatenating them in shard
+    order and assembling the verdict globally therefore reaches the
+    identical keep set — critically, fast mode's keep *count* and
+    lexsort tie-break see the whole plane, never one shard.
+    """
+    mode = config.two_stage
+    if mode == "off":
+        return None
+    indexes = [
+        core.ensure_coarse(config.frame_samples, config.coarse_decimation)
+        for core in cores
+    ]
+    if mode == "lossless":
+        params = lossless_walk_params(policy, config.delta)
+        if params is None:
+            return None
+        ceiling, stride = params
+        started = time.perf_counter()
+        bounds = np.concatenate(
+            [index.lossless_bounds(centered, norm) for index in indexes]
+        )
+        counts = np.concatenate(
+            [index.slice_offset_counts for index in indexes]
+        )
+        return assemble_lossless(
+            bounds, counts, ceiling, stride, time.perf_counter() - started
+        )
+    started = time.perf_counter()
+    scores = np.concatenate(
+        [index.fast_scores(centered, norm) for index in indexes]
+    )
+    return assemble_fast(
+        scores,
+        config.coarse_keep_fraction,
+        config.top_k,
+        time.perf_counter() - started,
     )
 
 
@@ -792,17 +845,22 @@ class CorrelationSearch:
         return centered, float(np.linalg.norm(centered))
 
     def search(
-        self, frame: np.ndarray, slices: Iterable[SignalSlice] | SearchPlane
+        self,
+        frame: np.ndarray,
+        slices: Iterable[SignalSlice] | SearchPlane | ShardedSearchPlane,
     ) -> SearchResult:
         """Return the top-K correlation set for ``frame`` over ``slices``.
 
         The frame must be the bandpass-filtered one-second input
         ``B_N`` (256 samples by default).  ``slices`` may be a plain
-        iterable of signal-sets or a compiled
-        :class:`~repro.cloud.plane.SearchPlane`.
+        iterable of signal-sets, a compiled
+        :class:`~repro.cloud.plane.SearchPlane`, or a
+        :class:`~repro.cloud.shards.ShardedSearchPlane`.
         """
         if isinstance(slices, SearchPlane):
             return self.search_plane(frame, slices)
+        if isinstance(slices, ShardedSearchPlane):
+            return self.search_shards(frame, slices)
         centered, norm = self.prepare_query(frame)
         result = SearchResult()
         top: TopK[SearchMatch] = TopK(self.config.top_k)
@@ -872,8 +930,97 @@ class CorrelationSearch:
         self._finish(result, top, span)
         return result
 
+    def search_shards(
+        self,
+        frame: np.ndarray,
+        source: ShardedSearchPlane | ShardEpoch,
+        shard_ids: Sequence[int] | None = None,
+    ) -> SearchResult:
+        """Top-K search over (a subset of the shards of) a sharded plane.
+
+        Pins one epoch up front (a concurrent ``refresh`` cannot mix
+        generations mid-search), screens once *globally* across all
+        shard cores, then scatters the exact walk across the shards in
+        ascending order and merges their hits into one heap.  Ascending
+        shard order concatenated with each walker's scan-order hits *is*
+        the monolithic admission order, so heap tie-breaks — and with
+        them matches, ω values, offsets and statistics — are
+        bit-identical to :meth:`search_plane` over the equivalent
+        monolithic plane.
+
+        ``shard_ids`` restricts the walk to those shards — the
+        shard-partitioned execution path ships only shard ids to
+        workers (screening verdicts are global either way).
+        """
+        epoch = source.pin() if isinstance(source, ShardedSearchPlane) else source
+        centered, norm = self.prepare_query(frame)
+        result = SearchResult()
+        top: TopK[SearchMatch] = TopK(self.config.top_k)
+        merge_s = 0.0
+        with obs.trace.span("cloud.search") as span:
+            cores = [shard.core for shard in epoch.shards]
+            scan_shards: Sequence[int] | range = (
+                shard_ids if shard_ids is not None else range(len(cores))
+            )
+            outcome = screen_shard_cores(
+                cores, self.config, self.policy, centered, norm
+            )
+            scanned = 0
+            hits_global: list[tuple[int, float, int]] = []
+            for k in scan_shards:
+                core = cores[k]
+                base = epoch.bases[k]
+                scan = range(base, base + core.n_slices)
+                walk_ids: Sequence[int] | None = None
+                if outcome is not None:
+                    kept, n_pruned, synthetic = outcome.apply(scan)
+                    result.slices_pruned += n_pruned
+                    result.correlations_evaluated += synthetic
+                    walk_ids = kept - base
+                walker = PlaneWalker(
+                    core,
+                    centered,
+                    norm,
+                    core.ensure_norms(self.config.frame_samples),
+                    self.policy,
+                    self.config.delta,
+                    self.config.dedupe_per_slice,
+                    indices=walk_ids,
+                )
+                hits, evaluated, above = walker.walk_all()
+                result.correlations_evaluated += evaluated
+                result.candidates_above_threshold += above
+                scanned += len(scan)
+                hits_global.extend(
+                    (base + index, omega, offset)
+                    for index, omega, offset in hits
+                )
+            result.slices_searched += scanned
+            if outcome is not None:
+                result.coarse_elapsed_s += outcome.elapsed_s
+                self._publish_screen(outcome, scanned, result.slices_pruned)
+            merge_started = time.perf_counter()
+            slices = epoch.slices
+            for index, omega, offset in hits_global:
+                top.offer(
+                    omega,
+                    SearchMatch(
+                        sig_slice=slices[index],
+                        omega=omega,
+                        offset=offset,
+                    ),
+                )
+            merge_s = time.perf_counter() - merge_started
+        self._finish(result, top, span)
+        registry = obs.metrics()
+        if registry.enabled:
+            registry.observe("cloud.plane.shard.merge_s", merge_s)
+        return result
+
     def search_batch(
-        self, frames: Sequence[np.ndarray], plane: SearchPlane
+        self,
+        frames: Sequence[np.ndarray],
+        plane: SearchPlane | ShardedSearchPlane | ShardEpoch,
     ) -> list[SearchResult]:
         """Serve many queries over one compiled plane in a single walk.
 
@@ -891,6 +1038,8 @@ class CorrelationSearch:
         """
         if not frames:
             return []
+        if isinstance(plane, (ShardedSearchPlane, ShardEpoch)):
+            return self._search_batch_shards(frames, plane)
         prepared = [self.prepare_query(frame) for frame in frames]
         cache = plane.ensure_norms(self.config.frame_samples)
         results: list[SearchResult] = []
@@ -971,6 +1120,130 @@ class CorrelationSearch:
         if registry.enabled:
             registry.inc("cloud.search.batches")
             registry.observe("cloud.search.batch_size", float(len(frames)))
+        return results
+
+    def _search_batch_shards(
+        self,
+        frames: Sequence[np.ndarray],
+        source: ShardedSearchPlane | ShardEpoch,
+    ) -> list[SearchResult]:
+        """The sharded twin of :meth:`search_batch`.
+
+        Pins one epoch for the *whole* batch — the per-batch
+        generation-pinning contract the gateway relies on: a refresh
+        landing mid-batch cannot swap cores under queries already
+        prepared against the pinned epoch.  Every query's ``(query,
+        shard)`` walkers are stacked into the same joint
+        level-synchronous walk the monolithic batch path uses (a
+        walker's layout interval is disjoint regardless of which query
+        or shard it serves), then each query's per-shard hits are
+        merged in ascending shard order — the monolithic admission
+        order — so batched sharded results stay bit-identical to
+        :meth:`search_plane` per frame.
+        """
+        epoch = source.pin() if isinstance(source, ShardedSearchPlane) else source
+        prepared = [self.prepare_query(frame) for frame in frames]
+        cores = [shard.core for shard in epoch.shards]
+        caches = [
+            core.ensure_norms(self.config.frame_samples) for core in cores
+        ]
+        n_shards = len(cores)
+        results: list[SearchResult] = []
+        tops: list[TopK[SearchMatch]] = []
+        merge_s = 0.0
+        with obs.trace.span("cloud.search_batch", queries=len(frames)) as span:
+            walkers: list[PlaneWalker] = []  # query-major, shard-minor
+            screened: list[tuple[int, int, float]] = []
+            for centered, norm in prepared:
+                outcome = screen_shard_cores(
+                    cores, self.config, self.policy, centered, norm
+                )
+                per_shard_ids: list[np.ndarray | None]
+                if outcome is None:
+                    screened.append((0, 0, 0.0))
+                    per_shard_ids = [None] * n_shards
+                else:
+                    per_shard_ids = []
+                    pruned_total = 0
+                    synthetic_total = 0
+                    for k, core in enumerate(cores):
+                        base = epoch.bases[k]
+                        kept, n_pruned, synthetic = outcome.apply(
+                            range(base, base + core.n_slices)
+                        )
+                        per_shard_ids.append(kept - base)
+                        pruned_total += n_pruned
+                        synthetic_total += synthetic
+                    screened.append(
+                        (pruned_total, synthetic_total, outcome.elapsed_s)
+                    )
+                    self._publish_screen(
+                        outcome, epoch.n_slices, pruned_total
+                    )
+                walkers.extend(
+                    PlaneWalker(
+                        core,
+                        centered,
+                        norm,
+                        caches[k],
+                        self.policy,
+                        self.config.delta,
+                        self.config.dedupe_per_slice,
+                        indices=per_shard_ids[k],
+                    )
+                    for k, core in enumerate(cores)
+                )
+            stacked = sum(walker.total_positions for walker in walkers)
+            if (
+                len(walkers) > 1
+                and stacked <= _JOINT_POSITION_BUDGET
+                and getattr(self.policy, "step", None) is None
+                and getattr(self.policy, "skip_table", None) is not None
+            ):
+                visited = _joint_visit(walkers)
+                walked = [
+                    walker.classify_visited(positions)
+                    for walker, positions in zip(walkers, visited)
+                ]
+            else:
+                walked = [walker.walk_all() for walker in walkers]
+            merge_started = time.perf_counter()
+            slices = epoch.slices
+            for q in range(len(frames)):
+                n_pruned, synthetic, coarse_s = screened[q]
+                result = SearchResult()
+                result.slices_searched = epoch.n_slices
+                result.slices_pruned = n_pruned
+                result.coarse_elapsed_s = coarse_s
+                evaluated_total = 0
+                above_total = 0
+                top: TopK[SearchMatch] = TopK(self.config.top_k)
+                for k in range(n_shards):
+                    hits, evaluated, above = walked[q * n_shards + k]
+                    evaluated_total += evaluated
+                    above_total += above
+                    base = epoch.bases[k]
+                    for index, omega, offset in hits:
+                        top.offer(
+                            omega,
+                            SearchMatch(
+                                sig_slice=slices[base + index],
+                                omega=omega,
+                                offset=offset,
+                            ),
+                        )
+                result.correlations_evaluated = evaluated_total + synthetic
+                result.candidates_above_threshold = above_total
+                results.append(result)
+                tops.append(top)
+            merge_s = time.perf_counter() - merge_started
+        for result, top in zip(results, tops):
+            self._finish(result, top, span)
+        registry = obs.metrics()
+        if registry.enabled:
+            registry.inc("cloud.search.batches")
+            registry.observe("cloud.search.batch_size", float(len(frames)))
+            registry.observe("cloud.plane.shard.merge_s", merge_s)
         return results
 
     def _finish(

@@ -1,6 +1,6 @@
 """CloudServer: the cloud half of the closed loop.
 
-Compiles the MDB's signal-sets into a :class:`SearchPlane` once (the
+Compiles the MDB's signal-sets into a sharded search plane once (the
 paper keeps the MDB in memory-backed MongoDB for the same reason),
 serves cross-correlation search requests over the compiled arrays, and
 reports the Eq. 4 timing breakdown for each call via the timing model.
@@ -9,7 +9,12 @@ Unlike the old materialise-at-construction snapshot, the server is
 never stale: every :meth:`handle_frame` (and an explicit
 :meth:`refresh`) compares the MDB's generation counter against the
 plane's and recompiles when signal-sets were inserted or removed —
-a cheap integer comparison on the no-change path.
+a cheap integer comparison on the no-change path.  With the default
+:class:`~repro.cloud.shards.ShardedSearchPlane` a refresh recompiles
+**only the delta shards** (content-addressed reuse), so an
+online-growing MDB adopts new slices without a serving pause, and the
+plane reference is pinned once per request/batch so a refresh racing an
+in-flight gateway batch can never mix generations within one batch.
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ from repro import obs
 from repro.cloud.plane import SearchPlane
 from repro.cloud.results import SearchResult
 from repro.cloud.search import SearchConfig, SlidingWindowSearch
+from repro.cloud.shards import DEFAULT_SHARD_SLICES, ShardedSearchPlane
 from repro.errors import SearchError
 from repro.mdb.mdb import MegaDatabase
 from repro.runtime.timing import TimingBreakdown, TimingModel
@@ -37,28 +43,43 @@ class SearchEngine(Protocol):
     """
 
     def search(
-        self, frame: np.ndarray, slices: SearchPlane | Sequence[SignalSlice]
+        self,
+        frame: np.ndarray,
+        slices: SearchPlane | ShardedSearchPlane | Sequence[SignalSlice],
     ) -> SearchResult:
         ...
 
 
 class CloudServer:
-    """Serves signal cross-correlation searches over an MDB."""
+    """Serves signal cross-correlation searches over an MDB.
+
+    An MDB or slice list is compiled into a
+    :class:`~repro.cloud.shards.ShardedSearchPlane` (``shard_slices``
+    slices per content-addressed shard); a pre-built plane — sharded or
+    monolithic — is served as-is.
+    """
 
     def __init__(
         self,
-        mdb: MegaDatabase | list[SignalSlice] | SearchPlane,
+        mdb: (
+            MegaDatabase
+            | list[SignalSlice]
+            | SearchPlane
+            | ShardedSearchPlane
+        ),
         search: SearchEngine | None = None,
         timing: TimingModel | None = None,
+        shard_slices: int = DEFAULT_SHARD_SLICES,
     ) -> None:
-        if isinstance(mdb, SearchPlane):
+        self.plane: SearchPlane | ShardedSearchPlane
+        if isinstance(mdb, (SearchPlane, ShardedSearchPlane)):
             self.plane = mdb
         else:
             if not len(mdb):
                 raise SearchError(
                     "cloud server needs a non-empty signal-set store"
                 )
-            self.plane = SearchPlane(mdb)
+            self.plane = ShardedSearchPlane(mdb, shard_slices=shard_slices)
         self.search_engine = search or SlidingWindowSearch(
             SearchConfig(), precompute=True
         )
@@ -74,6 +95,9 @@ class CloudServer:
 
         Called automatically by :meth:`handle_frame`, so frames
         arriving after an MDB insert always search the new signal-sets.
+        On the sharded plane only the delta shards recompile, and the
+        new epoch is installed atomically — requests already walking
+        the previous epoch are undisturbed.
         """
         refreshed = self.plane.refresh()
         if refreshed:
@@ -90,8 +114,12 @@ class CloudServer:
             else np.asarray(frame, dtype=np.float64)
         )
         self.refresh()
-        with obs.trace.span("cloud.handle_frame", slices=self.plane.n_slices):
-            result = self.search_engine.search(data, self.plane)
+        # Pin the plane reference for the whole request: a concurrent
+        # refresh (gateway offloads batches to executor threads) must
+        # not swap the plane between the span header and the search.
+        plane = self.plane
+        with obs.trace.span("cloud.handle_frame", slices=plane.n_slices):
+            result = self.search_engine.search(data, plane)
             breakdown = self.timing.initial_breakdown(
                 frame_samples=data.size,
                 correlations_evaluated=result.correlations_evaluated,
@@ -113,6 +141,13 @@ class CloudServer:
         :meth:`handle_frame` with the same frame (engines without a
         ``search_batch`` fall back to per-request searches, so any
         :class:`SearchEngine` still serves correctly).
+
+        The plane reference is pinned once for the whole batch — a
+        ``refresh()`` racing an in-flight batch (an MDB insert landing
+        mid-soak) cannot swap the plane between the coalescer snapshot
+        and the batch walk, so one batch never mixes generations; the
+        sharded plane additionally pins one immutable epoch inside
+        ``search_batch`` for the same guarantee at the core level.
         """
         datas = [
             frame.data
@@ -123,15 +158,16 @@ class CloudServer:
         if not datas:
             return []
         self.refresh()
+        plane = self.plane  # pinned: one plane for the whole batch
         with obs.trace.span(
-            "cloud.handle_batch", requests=len(datas), slices=self.plane.n_slices
+            "cloud.handle_batch", requests=len(datas), slices=plane.n_slices
         ):
             batcher = getattr(self.search_engine, "search_batch", None)
             if batcher is not None:
-                results = batcher(datas, self.plane)
+                results = batcher(datas, plane)
             else:
                 results = [
-                    self.search_engine.search(data, self.plane)
+                    self.search_engine.search(data, plane)
                     for data in datas
                 ]
             served = [
@@ -170,7 +206,7 @@ class CloudServer:
 
     def close(self) -> None:
         """Release the engine's worker pool (if any) and the plane's
-        shared-memory segment."""
+        shared-memory segments."""
         closer = getattr(self.search_engine, "close", None)
         if closer is not None:
             closer()

@@ -137,24 +137,32 @@ class FleetTracker:
 
         Reopening an existing session id is the fleet equivalent of
         :meth:`SignalTracker.load`: the old set's references are
-        released and the iteration counter restarts.
+        released and the iteration counter restarts.  The new set is
+        acquired *before* the old one is released — a drop-then-re-add
+        whose slice ids overlap the old set keeps those entries warm
+        instead of evicting and immediately recompiling them.
         """
-        if session_id in self._sessions:
-            self.close_session(session_id)
         entries_in = (
             matches.matches if isinstance(matches, SearchResult) else list(matches)
         )
         signals: list[TrackedSignal] = []
         entries: list[_CacheEntry] = []
-        for match in entries_in:
-            signals.append(
-                TrackedSignal(
-                    sig_slice=match.sig_slice,
-                    omega=match.omega,
-                    offset=match.offset,
+        try:
+            for match in entries_in:
+                signals.append(
+                    TrackedSignal(
+                        sig_slice=match.sig_slice,
+                        omega=match.omega,
+                        offset=match.offset,
+                    )
                 )
-            )
-            entries.append(self._acquire(match))
+                entries.append(self._acquire(match))
+        except Exception:
+            for entry in entries:
+                self._release(entry)
+            raise
+        if session_id in self._sessions:
+            self.close_session(session_id)
         self._sessions[session_id] = _FleetSession(signals=signals, entries=entries)
         self._publish_gauges()
 
@@ -190,8 +198,17 @@ class FleetTracker:
         return entry
 
     def _release(self, entry: _CacheEntry) -> None:
-        entry.refs -= 1
         if entry.refs <= 0:
+            # Already fully released (e.g. a stale handle released
+            # twice on a churn path) — decrementing again would
+            # underflow and evict an entry a re-registered session
+            # still references.
+            return
+        entry.refs -= 1
+        if entry.refs == 0 and self._cache.get(entry.key) is entry:
+            # The identity check guards the re-registration race: if a
+            # re-add already replaced this key with a fresh entry, the
+            # stale handle must not evict the live one.
             del self._cache[entry.key]
 
     # -- batched stepping ----------------------------------------------
@@ -243,6 +260,7 @@ class FleetTracker:
         survivors: list[TrackedSignal] = []
         surviving_entries: list[_CacheEntry] = []
         removed: list[TrackedSignal] = []
+        to_release: list[_CacheEntry] = []
         evaluations = 0
         for signal, entry in zip(session.signals, session.entries):
             compiled = entry.windows
@@ -250,7 +268,7 @@ class FleetTracker:
                 # Slice too short for even one comparison window.
                 signal.last_area = float("inf")
                 removed.append(signal)
-                self._release(entry)
+                to_release.append(entry)
                 continue
             areas = abs_diff_row_sums(compiled.windows, query)
             areas[compiled.flat] = worst
@@ -259,13 +277,17 @@ class FleetTracker:
             signal.last_area = float(areas[best])
             if signal.last_area > self.config.area_threshold:
                 removed.append(signal)
-                self._release(entry)
+                to_release.append(entry)
             else:
                 signal.offset = best * self.config.offset_stride
                 survivors.append(signal)
                 surviving_entries.append(entry)
+        # Commit the survivor set before releasing: the session never
+        # holds entries it no longer owns, even if a release faults.
         session.signals = survivors
         session.entries = surviving_entries
+        for entry in to_release:
+            self._release(entry)
         return TrackingStep(
             iteration=session.iteration,
             tracked_before=tracked_before,

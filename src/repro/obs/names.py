@@ -50,6 +50,12 @@ METRIC_NAMES: dict[str, str] = {
     "cloud.plane.coarse.prune_rate": "histogram",
     "cloud.plane.coarse.bound_margin": "histogram",
     "cloud.plane.coarse.keep_floor": "histogram",
+    "cloud.plane.shard.count": "gauge",
+    "cloud.plane.shard.compiled": "counter",
+    "cloud.plane.shard.reused": "counter",
+    "cloud.plane.shard.delta_compile_s": "histogram",
+    "cloud.plane.shard.full_compile_s": "histogram",
+    "cloud.plane.shard.merge_s": "histogram",
     # -- partitioned / pooled search ----------------------------------
     "cloud.parallel.elapsed_s": "histogram",
     "cloud.parallel.chunk_elapsed_s": "histogram",

@@ -255,19 +255,22 @@ class TestCoarseCacheLifecycle:
             ),
         )
         before, _ = server.handle_frame(frame)
-        stale_core = server.plane.core
-        assert stale_core.coarse_cache_misses == 1
+        # All 10 slices fit in the default-sized single shard; its core
+        # owns the coarse cache under test.
+        stale_shard = server.plane.pin().shards[0]
+        assert stale_shard.core.coarse_cache_misses == 1
         assert all(m.sig_slice.slice_id != "planted" for m in before.matches)
         mdb.insert_document(
             slice_to_document(planted, dataset="test", channel="Fp1")
         )
         after, _ = server.handle_frame(frame)
-        fresh_core = server.plane.core
-        # The generation bump rebuilt the core, dropping the coarse
-        # cache with it — the new screen covers all 11 slices.
-        assert fresh_core is not stale_core
-        assert fresh_core.coarse_cache_misses == 1
-        assert fresh_core.ensure_coarse(256, 8).n_slices == 11
+        fresh_shard = server.plane.pin().shards[0]
+        # The insert changed the shard's content address, so the delta
+        # refresh recompiled it — dropping the shard-local coarse cache
+        # with it; the new screen covers all 11 slices.
+        assert fresh_shard is not stale_shard
+        assert fresh_shard.core.coarse_cache_misses == 1
+        assert fresh_shard.core.ensure_coarse(256, 8).n_slices == 11
         assert after.matches
         assert after.matches[0].sig_slice.slice_id == "planted"
         assert after.matches[0].offset == 104

@@ -162,3 +162,55 @@ class TestBindLifecycle:
         assert plane._shm is not None
         plane.close()
         engine.close()
+
+
+class TestCloseLifecycle:
+    def _key(self, result):
+        return sorted(
+            (round(m.omega, 10), m.sig_slice.slice_id, m.offset)
+            for m in result.matches
+        )
+
+    def test_close_is_idempotent(self, mdb_slices):
+        engine = ParallelSearch(SearchConfig(), n_chunks=2)
+        engine.bind(mdb_slices[:8])
+        engine.close()
+        engine.close()  # second close must be a no-op, not a crash
+
+    def test_search_after_close_raises(self, mdb_slices, seizure_recording):
+        # Regression: a closed engine used to quietly rebuild state on
+        # the next search (or crash on the dead pool) instead of
+        # failing fast with a clear error.
+        frame = filtered_frame(seizure_recording, 84)
+        engine = ParallelSearch(SearchConfig(), n_chunks=2)
+        engine.bind(mdb_slices[:8])
+        engine.close()
+        with pytest.raises(SearchError, match="closed"):
+            engine.search(frame, None)
+        # Passing a fresh source does not bypass the closed check
+        # either — bind() is the documented revival path.
+        with pytest.raises(SearchError, match="closed"):
+            engine.search(frame, mdb_slices[:8])
+
+    def test_bind_after_close_revives(self, mdb_slices, seizure_recording):
+        frame = filtered_frame(seizure_recording, 84)
+        engine = ParallelSearch(SearchConfig(), n_chunks=2)
+        engine.bind(mdb_slices[:8])
+        expected = self._key(engine.search(frame, None))
+        engine.close()
+        engine.bind(mdb_slices[:8])
+        revived = engine.search(frame, None)
+        assert self._key(revived) == expected
+        engine.close()
+
+    def test_pooled_engine_rebuilds_after_close_bind(
+        self, mdb_slices, seizure_recording
+    ):
+        frame = filtered_frame(seizure_recording, 84)
+        engine = ParallelSearch(SearchConfig(), n_chunks=2, n_workers=2)
+        engine.bind(mdb_slices[:8])
+        expected = self._key(engine.search(frame, None))
+        engine.close()
+        engine.bind(mdb_slices[:8])
+        assert self._key(engine.search(frame, None)) == expected
+        engine.close()

@@ -361,6 +361,57 @@ class TestFleetMechanics:
         assert steps["a"].iteration == 2
         assert steps["b"].iteration == 1
 
+    def test_reopen_same_slices_keeps_entries_warm(self):
+        """Churn regression: drop-then-re-add of a session whose slice
+        ids overlap the old set must reuse the compiled entries instead
+        of evicting and recompiling them."""
+        matches = _random_matches(26, n=6, short_every=0)
+        fleet = FleetTracker()
+        fleet.open_session("a", matches)
+        assert fleet.cache_misses == 6
+        fleet.open_session("a", matches)  # drop-then-re-add, same slices
+        assert fleet.cache_misses == 6  # nothing recompiled
+        assert fleet.cache_hits == 6
+        assert fleet.unique_slices == 6
+        assert fleet.tracked_references == 6  # no refcount drift either
+
+    def test_stale_release_cannot_evict_a_reregistered_entry(self):
+        """Underflow regression: a handle released after its session was
+        already closed (refs == 0) must be a no-op — decrementing again
+        would evict the entry a re-registered session still uses."""
+        matches = _random_matches(27, n=4, short_every=0)
+        fleet = FleetTracker()
+        fleet.open_session("a", matches)
+        stale = list(fleet._sessions["a"].entries)
+        fleet.close_session("a")
+        assert fleet.unique_slices == 0
+        fleet.open_session("a", [matches[0]])
+        # The stale handles' refs are 0; releasing them again must not
+        # underflow or evict the freshly re-registered entry.
+        for entry in stale:
+            fleet._release(entry)
+        assert fleet.unique_slices == 1
+        assert fleet.tracked_references == 1
+        # The re-registered session still steps cleanly.
+        step = fleet.step({"a": np.zeros(256)})["a"]
+        assert step.tracked_before == 1
+
+    def test_churned_session_recompiles_cleanly_after_eviction(self):
+        """Full churn cycle: open → close (evicts) → reopen must
+        recompile from scratch and land on consistent counters."""
+        matches = _random_matches(28, n=5, short_every=0)
+        fleet = FleetTracker(TrackerConfig(area_threshold=1e9))
+        fleet.open_session("a", matches)
+        fleet.close_session("a")
+        assert fleet.unique_slices == 0
+        fleet.open_session("a", matches)  # slices were evicted: recompile
+        assert fleet.cache_misses == 10
+        assert fleet.unique_slices == 5
+        assert fleet.tracked_references == 5
+        step = fleet.step({"a": np.zeros(256)})["a"]
+        assert step.iteration == 1
+        assert step.tracked_before == 5
+
     def test_empty_slice_id_not_shared_but_correct(self):
         rng = np.random.default_rng(25)
         data = rng.standard_normal(1000) * 7

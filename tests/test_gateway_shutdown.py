@@ -27,6 +27,8 @@ from repro.cloud.client import ResilienceConfig
 from repro.cloud.server import CloudServer
 from repro.errors import GatewayError
 from repro.gateway import GatewayConfig, ServingGateway
+from repro.mdb.mdb import MegaDatabase
+from repro.mdb.schema import slice_to_document
 from repro.obs.sanitize import Sanitizer, run_sanitized
 from repro.signals.types import AnomalyType, SignalSlice
 
@@ -50,6 +52,15 @@ def _slices(seed: int = 7, n: int = 8):
 
 def _frame(seed: int = 9, samples: int = 256) -> np.ndarray:
     return np.random.default_rng(seed).standard_normal(samples)
+
+
+def _mdb(slices) -> MegaDatabase:
+    mdb = MegaDatabase()
+    for sig_slice in slices:
+        mdb.insert_document(
+            slice_to_document(sig_slice, dataset="test", channel="Fp1")
+        )
+    return mdb
 
 
 class _CrashingServer(CloudServer):
@@ -218,6 +229,74 @@ class TestOffloadedBatches:
         outcome = run_sanitized(main(), sanitizer=sanitizer)
         assert outcome.ok
         assert sanitizer.report.stalls == []
+
+
+class TestMidSoakInsert:
+    def test_insert_mid_soak_drops_nothing_and_recompiles_only_delta(self):
+        """Regression: an MDB insert landing while a soak of requests is
+        in flight used to race ``refresh()`` against the offloaded batch
+        walk — the plane could swap mid-batch, mixing generations.  The
+        server now pins the plane per batch and the sharded plane swaps
+        whole immutable epochs, so no request drops or fails, the
+        generation bumps exactly once, and only the delta shard (the new
+        partial one) is compiled; the pre-insert shards are reused."""
+        probe = _frame(seed=41)
+        planted = SignalSlice(
+            data=np.concatenate(
+                [probe, np.random.default_rng(42).standard_normal(144)]
+            ),
+            label=AnomalyType.SEIZURE,
+            slice_id="planted",
+        )
+        mdb = _mdb(_slices())
+        server = CloudServer(mdb, shard_slices=4)
+        gateway = ServingGateway(
+            server, GatewayConfig(resilience=FAST, offload_batches=True)
+        )
+        sanitizer = Sanitizer(track_memory=False)
+        base_generation = server.plane.generation
+
+        async def main():
+            first = [
+                asyncio.create_task(
+                    gateway.submit(f"tenant-{i % 3}", _frame(i), now_s=0.0)
+                )
+                for i in range(6)
+            ]
+            while gateway.pending < 1:
+                await asyncio.sleep(0)
+            # The insert lands while the first wave is still in flight.
+            mdb.insert_document(
+                slice_to_document(planted, dataset="test", channel="Fp1")
+            )
+            second = [
+                asyncio.create_task(
+                    gateway.submit(f"tenant-{i % 3}", probe, now_s=0.0)
+                )
+                for i in range(4)
+            ]
+            outcomes = await asyncio.gather(*first, *second)
+            await gateway.aclose()
+            return outcomes
+
+        outcomes = run_sanitized(main(), sanitizer=sanitizer)
+        assert all(outcome.ok for outcome in outcomes)  # zero dropped/failed
+        assert sanitizer.report.ok, sanitizer.report.render()
+        # 8 seed slices at 4 per shard: both pre-insert shards reused,
+        # only the new partial shard compiled, one generation bump.
+        assert server.plane.generation == base_generation + 1
+        assert server.plane.last_refresh_reused == 2
+        assert server.plane.last_refresh_compiled == 1
+        # Requests submitted after the insert search the planted slice.
+        planted_hits = [
+            match
+            for outcome in outcomes[6:]
+            for match in outcome.result.matches
+            if match.sig_slice.slice_id == "planted"
+        ]
+        assert planted_hits
+        assert max(match.omega for match in planted_hits) > 0.99
+        server.close()
 
 
 class TestSanitizedLifecycle:

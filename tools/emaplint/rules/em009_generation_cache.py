@@ -8,14 +8,18 @@ also invalidate every cache keyed off it — otherwise a reader sees
 fresh data paired with stale derived state, which in this codebase
 means *silently wrong correlation results*, not a crash.
 
-Invalidation is recognised in three forms, resolved through the pass-1
+Invalidation is recognised in four forms, resolved through the pass-1
 model (so the cache and the bump may live in different modules):
 
 * clearing the mapping: ``self._norm_caches.clear()``;
 * reassigning the mapping: ``self._norm_caches = {}``;
 * reassigning a **carrier**: ``self.core = PlaneCore(...)`` counts
   when the attribute's class holds the caches — dropping the carrier
-  drops every cache it owns in one move.
+  drops every cache it owns in one move;
+* evicting by key: ``del self._norm_caches[shard]`` or
+  ``self._norm_caches.pop(shard, None)`` — the sharded plane's
+  per-shard bump drops only the changed shard's entries, which is a
+  legitimate (delta) invalidation of that cache.
 
 A *cache* is a ``cache``/``memo``-named attribute that the class
 writes through subscript or ``setdefault`` — the lint-level signature
@@ -200,7 +204,8 @@ class GenerationCache(ProjectRule):
     def _direct_invalidations(
         node: ast.FunctionDef | ast.AsyncFunctionDef,
     ) -> set[str]:
-        """``self`` attr paths this method reassigns or ``.clear()``s."""
+        """``self`` attr paths this method reassigns, ``.clear()``s,
+        ``.pop()``s, or ``del``-evicts by key."""
         cleared: set[str] = set()
 
         def attr_path(target: ast.AST) -> str | None:
@@ -215,10 +220,16 @@ class GenerationCache(ProjectRule):
                     path = attr_path(target)
                     if path is not None:
                         cleared.add(path)
+            elif isinstance(sub, ast.Delete):
+                for target in sub.targets:
+                    if isinstance(target, ast.Subscript):
+                        path = attr_path(target.value)
+                        if path is not None:
+                            cleared.add(path)
             elif (
                 isinstance(sub, ast.Call)
                 and isinstance(sub.func, ast.Attribute)
-                and sub.func.attr == "clear"
+                and sub.func.attr in ("clear", "pop")
             ):
                 path = attr_path(sub.func.value)
                 if path is not None:

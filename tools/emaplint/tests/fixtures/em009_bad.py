@@ -35,3 +35,21 @@ class Plane:
 
     def mutate(self) -> None:
         self.data_version += 1  # carrier (and its caches) survives
+
+
+class ShardStore:
+    def __init__(self) -> None:
+        self.shard_generation = 0
+        self._norm_cache: dict[str, int] = {}
+        self._coarse_cache: dict[str, int] = {}
+
+    def warm(self, shard: str) -> int:
+        self._norm_cache[shard] = len(shard)
+        self._coarse_cache[shard] = len(shard) * 2
+        return self._norm_cache[shard]
+
+    def adopt(self, shard: str) -> None:
+        # Per-shard delta eviction drops the norm entry but leaves the
+        # coarse entry keyed to the old generation: stale screening.
+        self.shard_generation += 1
+        self._norm_cache.pop(shard, None)

@@ -40,3 +40,23 @@ class Plane:
     def mutate(self) -> None:
         self.core = Core()  # carrier reassigned: caches dropped
         self.data_version += 1
+
+
+class ShardStore:
+    def __init__(self) -> None:
+        self.shard_generation = 0
+        self._norm_cache: dict[str, int] = {}
+        self._coarse_cache: dict[str, int] = {}
+
+    def warm(self, shard: str) -> int:
+        self._norm_cache[shard] = len(shard)
+        self._coarse_cache[shard] = len(shard) * 2
+        return self._norm_cache[shard]
+
+    def adopt(self, shard: str) -> None:
+        # Per-shard delta eviction counts: every keyed cache drops the
+        # changed shard's entry (pop and del are both recognised).
+        self.shard_generation += 1
+        self._norm_cache.pop(shard, None)
+        if shard in self._coarse_cache:
+            del self._coarse_cache[shard]

@@ -26,7 +26,7 @@ EXPECTED_BAD_FINDINGS = {
     "EM006": 2,
     "EM007": 3,
     "EM008": 3,
-    "EM009": 2,
+    "EM009": 3,
     "EM010": 4,
     "EM011": 3,
     "EM012": 2,
