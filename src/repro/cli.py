@@ -193,6 +193,13 @@ def _build_parser() -> argparse.ArgumentParser:
         default=2048,
         help="gateway-wide pending bound (global backpressure)",
     )
+    serve.add_argument(
+        "--edge-steps",
+        type=int,
+        default=0,
+        help="edge tracking iterations per successful search (fused "
+        "fleet stepping; 0 = cloud-only simulation)",
+    )
     serve.add_argument("--frames", type=int, default=32)
     serve.add_argument("--mdb-scale", type=float, default=0.15)
     serve.add_argument("--seed", type=int, default=0)
@@ -454,6 +461,7 @@ def _cmd_serve(args: argparse.Namespace) -> str | tuple[str, int]:
         think_time_s=args.think_time,
         arrival_horizon_s=args.horizon,
         time_scale=args.time_scale,
+        edge_steps_per_request=args.edge_steps,
         seed=args.seed,
     )
     gateway_config = GatewayConfig(

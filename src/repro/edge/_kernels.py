@@ -1,55 +1,92 @@
-"""Fused area-reduction kernel behind the edge tracking plane.
+"""Fused area-reduction kernels behind the edge tracking plane & fleet.
 
 The plane's per-step cost is one reduction: for every compiled window
 row ``w`` compute ``Σ|w − query|`` (Eq. 3 over normalised windows).
 Expressed as separate numpy ufunc calls that is three full passes over
 the compiled tensor — subtract, abs, sum — and the tensor (~38 MB at
 100 candidates) is far bigger than cache, so the step is bound by
-memory traffic numpy cannot fuse away.
+memory traffic numpy cannot fuse away.  The fleet adds a second axis:
+many sessions track the *same* deduplicated compiled slice, so one
+slice's window rows must be evaluated against a whole stack of
+queries in one call instead of one ctypes round-trip per session.
 
-This module provides :func:`abs_diff_row_sums`, the same reduction in
-one pass.  Two interchangeable backends:
+This module provides two reductions over two interchangeable backends:
 
-* ``"c"`` — a tiny C kernel compiled once per process with the system
-  C compiler and loaded via :mod:`ctypes`.  Its summation replicates
-  numpy's *pairwise* algorithm instruction for instruction (8 unrolled
-  partial accumulators per 128-element block, recursive halving above
-  that), so results are **bit-identical** to ``np.abs(rows -
-  query).sum(axis=1)``.  Selected only after a bitwise self-check
-  against numpy on this exact interpreter/numpy build.
+* :func:`abs_diff_row_sums` — ``out[r] = Σ|rows[r] − query|``, the
+  single-query kernel the tracking plane has always used.
+* :func:`abs_diff_rect_sums` — the multi-query *rectangle*
+  ``out[q, r] = Σ|rows[r] − queries[q]|``, one call per deduplicated
+  slice for the fleet's slice-major megabatch step.  Each ``(q, r)``
+  cell is the identical pairwise sum the single-query kernel computes,
+  so every cell is **bit-identical** to
+  ``np.abs(rows - queries[q]).sum(axis=1)[r]`` — and therefore
+  independent of how cells are scheduled across threads.
+
+Backends:
+
+* ``"c"`` — a tiny C kernel compiled once and cached **across
+  processes**, keyed by a hash of its own source under a per-user
+  cache directory, and loaded via :mod:`ctypes`.  Its summation
+  replicates numpy's *pairwise* algorithm instruction for instruction
+  (8 unrolled partial accumulators per 128-element block, recursive
+  halving above that).  The rectangle kernel additionally spreads its
+  independent cells over a pthread pool — ctypes releases the GIL for
+  the duration of the call, so the fleet step gets true multi-core
+  execution with bit-identical results at any thread count.  Selected
+  only after a bitwise self-check against numpy on this exact
+  interpreter/numpy build (the self-check runs per process even when
+  the ``.so`` came from the cache).
 * ``"numpy"`` — a cache-blocked fallback that runs the three ufunc
-  passes through an L2-sized scratch block.  Same pairwise sum per
-  row, so it is bit-identical by construction; used when no compiler
-  is available or the self-check fails.
+  passes through an L2-sized scratch block, reused per shape and per
+  thread so the fallback stops paying an allocation per candidate per
+  step.  Same pairwise sum per row, so it is bit-identical by
+  construction; used when no compiler is available or the self-check
+  fails.
 
-Backend selection is lazy, happens once per process, and is exposed
-via :func:`kernel_backend` so benchmarks can report what they
-measured.
+Selection is lazy, happens once per process, and is exposed via
+:func:`kernel_backend` so benchmarks can report what they measured.
+``EMAP_KERNEL=c|numpy`` forces a backend (``c`` raises
+:class:`~repro.errors.KernelError` when the compiled kernel cannot be
+used — a forced backend must never silently degrade), and
+``EMAP_KERNEL_THREADS`` pins the rectangle kernel's thread count.
 """
 
 from __future__ import annotations
 
 import ctypes
+import hashlib
 import os
 import shutil
 import subprocess
 import tempfile
+import threading
 from typing import Callable
 
 import numpy as np
+
+from repro.errors import KernelError
 
 #: Fallback scratch-block size: large enough to amortise per-call numpy
 #: overhead, small enough to stay resident in L2 while the three ufunc
 #: passes run over it.
 _BLOCK_BYTES = 1 << 18
 
-#: The fused kernel.  ``abs_diff_row_sums`` writes ``Σ|rows[r] − q|``
-#: into ``out[r]``; the summation mirrors numpy's pairwise_sum exactly
+#: Hard ceiling on rectangle-kernel threads (also the C-side span
+#: array bound — keep in sync with ``MAX_THREADS`` in the source).
+_MAX_THREADS = 64
+
+#: The fused kernels.  ``abs_diff_row_sums`` writes ``Σ|rows[r] − q|``
+#: into ``out[r]``; ``abs_diff_rect_sums`` writes the full
+#: query × row rectangle, cells partitioned contiguously over a
+#: pthread pool.  Both replay numpy's pairwise_sum exactly
 #: (8-accumulator unrolled blocks of ≤128, recursive halving above) so
-#: the result is bit-identical to ``np.abs(rows - q).sum(axis=1)``.
+#: every cell is bit-identical to ``np.abs(rows - q).sum(axis=1)``.
 _C_SOURCE = """
 #include <math.h>
 #include <stddef.h>
+#include <pthread.h>
+
+#define MAX_THREADS 64
 
 static double pairwise_block(const double *w, const double *q, ptrdiff_t n) {
     double r[8];
@@ -93,16 +130,108 @@ void abs_diff_row_sums(const double *rows, const double *query,
     for (r = 0; r < n_rows; r++)
         out[r] = pairwise_abs_diff(rows + r * m, query, m);
 }
+
+typedef struct {
+    const double *rows;
+    const double *queries;
+    ptrdiff_t n_rows;
+    ptrdiff_t m;
+    double *out;
+    ptrdiff_t begin;   /* flat cell range over out, query-major */
+    ptrdiff_t end;
+} rect_span;
+
+static void rect_run(const rect_span *s) {
+    ptrdiff_t i;
+    for (i = s->begin; i < s->end; i++) {
+        ptrdiff_t q = i / s->n_rows;
+        ptrdiff_t r = i - q * s->n_rows;
+        s->out[i] = pairwise_abs_diff(s->rows + r * s->m,
+                                      s->queries + q * s->m, s->m);
+    }
+}
+
+static void *rect_entry(void *arg) {
+    rect_run((const rect_span *)arg);
+    return NULL;
+}
+
+void abs_diff_rect_sums(const double *rows, const double *queries,
+                        ptrdiff_t n_rows, ptrdiff_t n_queries, ptrdiff_t m,
+                        double *out, ptrdiff_t n_threads) {
+    pthread_t workers[MAX_THREADS];
+    rect_span spans[MAX_THREADS];
+    ptrdiff_t total = n_rows * n_queries;
+    ptrdiff_t started = 0, t, chunk;
+    if (total <= 0) return;
+    if (n_threads > total) n_threads = total;
+    if (n_threads > MAX_THREADS) n_threads = MAX_THREADS;
+    if (n_threads < 2) {
+        rect_span all = {rows, queries, n_rows, m, out, 0, total};
+        rect_run(&all);
+        return;
+    }
+    chunk = (total + n_threads - 1) / n_threads;
+    for (t = 0; t < n_threads; t++) {
+        spans[t].rows = rows;
+        spans[t].queries = queries;
+        spans[t].n_rows = n_rows;
+        spans[t].m = m;
+        spans[t].out = out;
+        spans[t].begin = t * chunk;
+        spans[t].end = (t + 1) * chunk < total ? (t + 1) * chunk : total;
+    }
+    for (t = 1; t < n_threads; t++) {
+        if (pthread_create(&workers[t], NULL, rect_entry, &spans[t]) != 0)
+            break;
+        started = t;
+    }
+    rect_run(&spans[0]);
+    /* Spans whose worker failed to start run inline: every cell is
+       computed exactly once regardless of thread availability. */
+    for (t = started + 1; t < n_threads; t++)
+        rect_run(&spans[t]);
+    for (t = 1; t <= started; t++)
+        pthread_join(workers[t], NULL);
+}
 """
 
 _RowSums = Callable[[np.ndarray, np.ndarray, np.ndarray], None]
+_RectSums = Callable[[np.ndarray, np.ndarray, np.ndarray, int], None]
 
 _backend: str | None = None
-_c_kernel: _RowSums | None = None
+_c_row_kernel: _RowSums | None = None
+_c_rect_kernel: _RectSums | None = None
+
+#: Per-thread scratch blocks for the numpy fallback, keyed by shape.
+#: Thread-local because the fleet planner may run fallback evaluations
+#: from a worker thread while the main thread steps a single-session
+#: plane — a shared buffer would race.
+_scratch_local = threading.local()
 
 
-def _build_library() -> str | None:
-    """Compile the C source into a per-process shared library."""
+def _source_digest() -> str:
+    return hashlib.blake2b(_C_SOURCE.encode("utf-8"), digest_size=16).hexdigest()
+
+
+def _cache_dir() -> str:
+    """Per-user directory the compiled kernel ``.so`` persists under.
+
+    ``EMAP_KERNEL_CACHE`` overrides; otherwise the XDG cache home (or
+    ``~/.cache``).  Keyed by a hash of the C source, so a source change
+    compiles a fresh library and stale entries are simply never loaded.
+    """
+    override = os.environ.get("EMAP_KERNEL_CACHE")
+    if override:
+        return override
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return os.path.join(base, "emap-kernels")
+
+
+def _compile_library(workdir: str) -> str | None:
+    """Compile the C source inside ``workdir``; the ``.so`` path or None."""
     compilers = [
         path
         for name in ("cc", "gcc", "clang")
@@ -110,14 +239,22 @@ def _build_library() -> str | None:
     ]
     if not compilers:
         return None
-    workdir = tempfile.mkdtemp(prefix="repro-area-kernel-")
     source = os.path.join(workdir, "area_kernel.c")
     library = os.path.join(workdir, "area_kernel.so")
     with open(source, "w", encoding="utf-8") as handle:
         handle.write(_C_SOURCE)
     for compiler in compilers:
         result = subprocess.run(
-            [compiler, "-O3", "-fPIC", "-shared", "-o", library, source],
+            [
+                compiler,
+                "-O3",
+                "-fPIC",
+                "-shared",
+                "-pthread",
+                "-o",
+                library,
+                source,
+            ],
             capture_output=True,
             timeout=60,
             check=False,
@@ -127,25 +264,52 @@ def _build_library() -> str | None:
     return None
 
 
-def _load_c_kernel() -> _RowSums | None:
-    """Build + bind the C kernel; ``None`` on any toolchain failure."""
-    try:
-        library = _build_library()
-    except (OSError, subprocess.SubprocessError):
-        return None
-    if library is None:
-        return None
-    try:
-        handle = ctypes.CDLL(library)
-    except OSError:
-        return None
-    raw = handle.abs_diff_row_sums
-    double_p = ctypes.POINTER(ctypes.c_double)
-    raw.argtypes = [double_p, double_p, ctypes.c_ssize_t, ctypes.c_ssize_t, double_p]
-    raw.restype = None
+def _publish_to_cache(library: str, cached: str) -> str:
+    """Move a freshly built ``.so`` into the cross-process cache.
 
-    def call(rows: np.ndarray, query: np.ndarray, out: np.ndarray) -> None:
-        raw(
+    Copies into the cache directory under a temporary name and
+    ``os.replace``s it into place, so a racing process only ever sees
+    a complete library.  On any cache failure (read-only home, quota)
+    the build-dir path is returned and the library is simply loaded
+    per-process, exactly as before.
+    """
+    try:
+        cache_dir = os.path.dirname(cached)
+        os.makedirs(cache_dir, exist_ok=True)
+        fd, partial = tempfile.mkstemp(dir=cache_dir, suffix=".so.partial")
+        os.close(fd)
+        shutil.copy2(library, partial)
+        os.replace(partial, cached)
+        return cached
+    except OSError:
+        return library
+
+
+def _bind_kernels(handle: ctypes.CDLL) -> tuple[_RowSums, _RectSums]:
+    double_p = ctypes.POINTER(ctypes.c_double)
+    raw_rows = handle.abs_diff_row_sums
+    raw_rows.argtypes = [
+        double_p,
+        double_p,
+        ctypes.c_ssize_t,
+        ctypes.c_ssize_t,
+        double_p,
+    ]
+    raw_rows.restype = None
+    raw_rect = handle.abs_diff_rect_sums
+    raw_rect.argtypes = [
+        double_p,
+        double_p,
+        ctypes.c_ssize_t,
+        ctypes.c_ssize_t,
+        ctypes.c_ssize_t,
+        double_p,
+        ctypes.c_ssize_t,
+    ]
+    raw_rect.restype = None
+
+    def row_call(rows: np.ndarray, query: np.ndarray, out: np.ndarray) -> None:
+        raw_rows(
             rows.ctypes.data_as(double_p),
             query.ctypes.data_as(double_p),
             rows.shape[0],
@@ -153,18 +317,69 @@ def _load_c_kernel() -> _RowSums | None:
             out.ctypes.data_as(double_p),
         )
 
-    return call
+    def rect_call(
+        rows: np.ndarray, queries: np.ndarray, out: np.ndarray, threads: int
+    ) -> None:
+        raw_rect(
+            rows.ctypes.data_as(double_p),
+            queries.ctypes.data_as(double_p),
+            rows.shape[0],
+            queries.shape[0],
+            rows.shape[1],
+            out.ctypes.data_as(double_p),
+            threads,
+        )
+
+    return row_call, rect_call
 
 
-def _passes_self_check(call: _RowSums) -> bool:
-    """Bitwise-compare the C kernel against numpy on this exact build.
+def _load_c_kernels() -> tuple[_RowSums, _RectSums] | None:
+    """Load (cache) or build + bind the C kernels; None on any failure.
+
+    The cached library is keyed by the source hash, so a hit skips the
+    compiler entirely; a miss builds in a temporary directory that is
+    always removed afterwards (the previous implementation leaked one
+    ``mkdtemp`` per process start), publishing the result to the cache
+    for the next process.
+    """
+    cached = os.path.join(_cache_dir(), f"area-kernel-{_source_digest()}.so")
+    if os.path.exists(cached):
+        try:
+            return _bind_kernels(ctypes.CDLL(cached))
+        except (OSError, AttributeError):
+            # Corrupt or stale cache entry: fall through and rebuild.
+            pass
+    workdir = tempfile.mkdtemp(prefix="repro-area-kernel-")
+    try:
+        try:
+            library = _compile_library(workdir)
+        except (OSError, subprocess.SubprocessError):
+            return None
+        if library is None:
+            return None
+        path = _publish_to_cache(library, cached)
+        try:
+            # Loading from the build dir is safe even though the dir is
+            # removed below: the pages stay mapped once dlopen'd.
+            return _bind_kernels(ctypes.CDLL(path))
+        except (OSError, AttributeError):
+            return None
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def _passes_self_check(kernels: tuple[_RowSums, _RectSums]) -> bool:
+    """Bitwise-compare both C kernels against numpy on this exact build.
 
     Window lengths cover every summation regime: the short sequential
     path (< 8), the unrolled 8-accumulator block with and without a
     remainder (≤ 128), and the recursive halving above 128 — plus a
     large-magnitude case where any accumulation-order difference would
-    surface in the last bits.
+    surface in the last bits.  The rectangle kernel is checked both
+    single- and multi-threaded: cells are independent, so any thread
+    count must reproduce the same bits.
     """
+    row_call, rect_call = kernels
     rng = np.random.default_rng(0xE3A7)
     cases = [(3, 1), (5, 7), (4, 64), (7, 100), (2, 131), (6, 256), (3, 1000)]
     for n_rows, m in cases:
@@ -172,17 +387,44 @@ def _passes_self_check(call: _RowSums) -> bool:
         query = np.ascontiguousarray(rng.standard_normal(m) * 1e6)
         expected = np.abs(rows - query).sum(axis=1)
         produced = np.empty(n_rows)
-        call(rows, query, produced)
+        row_call(rows, query, produced)
         if not np.array_equal(expected, produced):
             return False
+    rect_cases = [(3, 1, 2), (5, 7, 4), (6, 130, 3), (4, 256, 5), (2, 1000, 7)]
+    for n_rows, m, n_queries in rect_cases:
+        rows = np.ascontiguousarray(rng.standard_normal((n_rows, m)))
+        queries = np.ascontiguousarray(
+            rng.standard_normal((n_queries, m)) * 1e5
+        )
+        expected = np.stack(
+            [np.abs(rows - q).sum(axis=1) for q in queries]
+        )
+        for threads in (1, 3):
+            produced = np.empty((n_queries, n_rows))
+            rect_call(rows, queries, produced, threads)
+            if not np.array_equal(expected, produced):
+                return False
     return True
+
+
+def _scratch(shape: tuple[int, int]) -> np.ndarray:
+    """A reusable per-thread scratch block for the numpy fallback."""
+    buffers = getattr(_scratch_local, "buffers", None)
+    if buffers is None:
+        buffers = {}
+        _scratch_local.buffers = buffers
+    block = buffers.get(shape)
+    if block is None:
+        block = np.empty(shape)
+        buffers[shape] = block
+    return block
 
 
 def _numpy_row_sums(rows: np.ndarray, query: np.ndarray, out: np.ndarray) -> None:
     """Cache-blocked fallback: three ufunc passes per L2-sized block."""
     n_rows, m = rows.shape
     block = max(1, _BLOCK_BYTES // max(1, m * rows.itemsize))
-    scratch = np.empty((min(block, n_rows), m))
+    scratch = _scratch((min(block, n_rows), m))
     for start in range(0, n_rows, block):
         chunk = rows[start : start + block]
         buffer = scratch[: chunk.shape[0]]
@@ -191,22 +433,100 @@ def _numpy_row_sums(rows: np.ndarray, query: np.ndarray, out: np.ndarray) -> Non
         np.sum(buffer, axis=1, out=out[start : start + chunk.shape[0]])
 
 
+def _numpy_rect_sums(
+    rows: np.ndarray, queries: np.ndarray, out: np.ndarray
+) -> None:
+    """Rectangle fallback: the blocked row reduction once per query."""
+    for index in range(queries.shape[0]):
+        _numpy_row_sums(rows, queries[index], out[index])
+
+
+def _forced_backend() -> str | None:
+    """The ``EMAP_KERNEL`` override, validated; None when unset."""
+    value = os.environ.get("EMAP_KERNEL", "").strip().lower()
+    if not value:
+        return None
+    if value not in ("c", "numpy"):
+        raise KernelError(
+            f"EMAP_KERNEL must be 'c' or 'numpy', got {value!r}"
+        )
+    return value
+
+
 def kernel_backend() -> str:
     """The selected backend: ``"c"`` (fused) or ``"numpy"`` (blocked).
 
     Selection is lazy and cached for the life of the process: the C
-    kernel is used only when a system compiler produced it *and* it
-    reproduced numpy's results bit for bit in :func:`_passes_self_check`.
+    kernel is used only when a compiled library was available (from
+    the cross-process cache or a fresh build) *and* it reproduced
+    numpy's results bit for bit in :func:`_passes_self_check`.
+    ``EMAP_KERNEL`` forces the choice; forcing ``c`` on a host where
+    the compiled kernel cannot pass raises instead of degrading.
     """
-    global _backend, _c_kernel
+    global _backend, _c_row_kernel, _c_rect_kernel
     if _backend is None:
-        candidate = _load_c_kernel()
-        if candidate is not None and _passes_self_check(candidate):
-            _c_kernel = candidate
+        forced = _forced_backend()
+        if forced == "numpy":
+            _backend = "numpy"
+            return _backend
+        kernels = _load_c_kernels()
+        if kernels is not None and _passes_self_check(kernels):
+            _c_row_kernel, _c_rect_kernel = kernels
             _backend = "c"
+        elif forced == "c":
+            raise KernelError(
+                "EMAP_KERNEL=c but the compiled kernel is unavailable "
+                "(no working compiler, or the bitwise self-check failed)"
+            )
         else:
             _backend = "numpy"
     return _backend
+
+
+def kernel_threads() -> int:
+    """Threads the rectangle kernel spreads its cells over.
+
+    ``EMAP_KERNEL_THREADS`` pins the count; the default is the host's
+    CPU count.  Clamped to [1, 64].  Thread count never changes
+    results — every cell is an independent pairwise sum — only wall
+    time, so this is a performance dial, not a correctness one.
+    """
+    value = os.environ.get("EMAP_KERNEL_THREADS", "").strip()
+    if value:
+        try:
+            threads = int(value)
+        except ValueError:
+            raise KernelError(
+                f"EMAP_KERNEL_THREADS must be an integer, got {value!r}"
+            ) from None
+    else:
+        threads = os.cpu_count() or 1
+    return max(1, min(threads, _MAX_THREADS))
+
+
+def _reset_backend_selection() -> None:
+    """Forget the cached selection (tests flip ``EMAP_KERNEL`` mid-run)."""
+    global _backend, _c_row_kernel, _c_rect_kernel
+    _backend = None
+    _c_row_kernel = None
+    _c_rect_kernel = None
+
+
+def _check_inputs(
+    rows: np.ndarray, queries: np.ndarray, out: np.ndarray
+) -> None:
+    if not (
+        rows.flags.c_contiguous
+        and queries.flags.c_contiguous
+        and out.flags.c_contiguous
+    ):
+        raise ValueError("kernel inputs must be C-contiguous")
+    if not (
+        rows.dtype == np.float64
+        and queries.dtype == np.float64
+        and out.dtype == np.float64
+    ):
+        raise ValueError("kernel inputs must be float64")
 
 
 def abs_diff_row_sums(
@@ -235,21 +555,58 @@ def abs_diff_row_sums(
         )
     if n_rows == 0:
         return out
-    if not (
-        rows.flags.c_contiguous
-        and query.flags.c_contiguous
-        and out.flags.c_contiguous
-    ):
-        raise ValueError("kernel inputs must be C-contiguous")
-    if not (
-        rows.dtype == np.float64
-        and query.dtype == np.float64
-        and out.dtype == np.float64
-    ):
-        raise ValueError("kernel inputs must be float64")
+    _check_inputs(rows, query, out)
     if kernel_backend() == "c":
-        assert _c_kernel is not None
-        _c_kernel(rows, query, out)
+        assert _c_row_kernel is not None
+        _c_row_kernel(rows, query, out)
     else:
         _numpy_row_sums(rows, query, out)
+    return out
+
+
+def abs_diff_rect_sums(
+    rows: np.ndarray,
+    queries: np.ndarray,
+    out: np.ndarray | None = None,
+    threads: int | None = None,
+) -> np.ndarray:
+    """``out[q, r] = Σ|rows[r] − queries[q]|``: the multi-query rectangle.
+
+    One call evaluates a deduplicated slice's whole window tensor
+    against every query tracking it.  Every cell is bit-identical to
+    ``np.abs(rows - queries[q]).sum(axis=1)[r]`` on every backend and
+    at every thread count (cells are independent).  ``rows`` must be a
+    C-contiguous float64 ``(n_rows, m)`` matrix, ``queries`` a
+    C-contiguous float64 ``(n_queries, m)`` matrix, and ``out``, when
+    given, a C-contiguous float64 ``(n_queries, n_rows)`` matrix.
+    ``threads`` defaults to :func:`kernel_threads`; the numpy fallback
+    ignores it (the ufunc passes are single-threaded).
+    """
+    if rows.ndim != 2:
+        raise ValueError(f"rows must be 2-D, got shape {rows.shape}")
+    if queries.ndim != 2:
+        raise ValueError(f"queries must be 2-D, got shape {queries.shape}")
+    n_rows, m = rows.shape
+    n_queries = queries.shape[0]
+    if queries.shape[1] != m:
+        raise ValueError(
+            f"queries of shape {queries.shape} do not match row length {m}"
+        )
+    if out is None:
+        out = np.empty((n_queries, n_rows))
+    elif out.shape != (n_queries, n_rows):
+        raise ValueError(
+            f"out of shape {out.shape} does not match "
+            f"({n_queries}, {n_rows})"
+        )
+    if n_rows == 0 or n_queries == 0:
+        return out
+    _check_inputs(rows, queries, out)
+    if kernel_backend() == "c":
+        assert _c_rect_kernel is not None
+        _c_rect_kernel(
+            rows, queries, out, kernel_threads() if threads is None else threads
+        )
+    else:
+        _numpy_rect_sums(rows, queries, out)
     return out

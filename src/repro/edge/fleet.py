@@ -13,28 +13,44 @@ tracking the same slice shares the compiled tensor.  Entries are
 reference-counted and evicted as soon as no session tracks them.
 
 :meth:`FleetTracker.step` advances every session supplied in one
-batched call.  Each session's frame is normalised once and evaluated
-against its candidates' shared compiled windows with the same fused
-reduction the single-session plane uses
-(:func:`repro.edge._kernels.abs_diff_row_sums`), so per-session results
-— areas, offsets, removals, ``area_evaluations``, PA — are
-**bit-identical** to an independent :class:`~repro.edge.tracker.SignalTracker`
-stepping the same frames (``tests/test_edge_plane.py`` asserts it).
+batched call.  The default **fused** path is *slice-major*: a step
+planner groups every (session, candidate) evaluation by its
+deduplicated compiled slice (the content-addressed cache entry already
+identifies sharing), stacks the queries of all sessions tracking that
+slice into one contiguous matrix, and evaluates each unique slice's
+window tensor against all of its queries in a single
+:func:`repro.edge._kernels.abs_diff_rect_sums` call — one kernel
+dispatch per unique slice instead of one per (session, candidate)
+pair, with the kernel spreading the independent cells over a pthread
+pool (ctypes releases the GIL, so the megabatch runs truly
+multi-core).  Results are committed back per session in submission
+order, so per-session outcomes — areas, offsets, removals,
+``area_evaluations``, PA — stay **bit-identical** both to the
+sequential session-major path (``fused=False``) and to an independent
+:class:`~repro.edge.tracker.SignalTracker` stepping the same frames
+(``tests/test_edge_plane.py`` asserts it).
 
 Slices with an empty ``slice_id`` cannot be content-addressed and are
-compiled privately per candidate (correct, just unshared).
+compiled privately per candidate (correct, just unshared — each
+becomes its own single-query group under the fused planner).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 import numpy as np
 
 from repro import obs
 from repro.cloud.results import SearchMatch, SearchResult
-from repro.edge._kernels import abs_diff_row_sums
+from repro.edge._kernels import (
+    abs_diff_rect_sums,
+    abs_diff_row_sums,
+    kernel_backend,
+    kernel_threads,
+)
 from repro.edge.plane import CompiledSliceWindows, compile_slice_windows
 from repro.edge.tracker import TrackedSignal, TrackerConfig, TrackingStep
 from repro.errors import TrackingError
@@ -59,6 +75,25 @@ class _FleetSession:
     iteration: int = 0
 
 
+@dataclass
+class _SliceGroup:
+    """One unique compiled slice's megabatch for a fused step.
+
+    ``queries``/``worsts`` collect, in plan order, the (normalised)
+    query and worst-case area of every (session, candidate) pair that
+    tracks this slice this step; after evaluation ``best``/``best_areas``
+    hold each pair's argmin offset index and its area (as plain Python
+    ints/floats — one bulk ``tolist`` beats 10k per-pair numpy-scalar
+    conversions in the commit loop, with identical values).
+    """
+
+    windows: CompiledSliceWindows
+    queries: list[np.ndarray] = field(default_factory=list)
+    worsts: list[float] = field(default_factory=list)
+    best: list[int] | None = None
+    best_areas: list[float] | None = None
+
+
 class FleetTracker:
     """Steps many concurrent tracking sessions in one batched call.
 
@@ -68,12 +103,21 @@ class FleetTracker:
     size, stride and reference RMS).
     """
 
-    def __init__(self, config: TrackerConfig | None = None) -> None:
+    def __init__(
+        self, config: TrackerConfig | None = None, *, fused: bool = True
+    ) -> None:
         self.config = config or TrackerConfig()
+        self.fused = fused
         self._sessions: dict[str, _FleetSession] = {}
         self._cache: dict[object, _CacheEntry] = {}
         self.cache_hits = 0
         self.cache_misses = 0
+        # Introspection for benchmarks / `emap obs`: shape of the last
+        # fused plan (0s until a fused step has run).
+        self.last_fused_groups = 0
+        self.last_fused_pairs = 0
+        self.last_fused_max_group = 0
+        self.last_fused_step_s = 0.0
 
     # -- introspection -------------------------------------------------
 
@@ -233,8 +277,11 @@ class FleetTracker:
             queries[session_id] = data
         steps: dict[str, TrackingStep] = {}
         with obs.trace.span("edge.fleet.step", sessions=len(queries)) as span:
-            for session_id, data in queries.items():
-                steps[session_id] = self._step_session(session_id, data)
+            if self.fused:
+                steps = self._step_fused(queries)
+            else:
+                for session_id, data in queries.items():
+                    steps[session_id] = self._step_session(session_id, data)
         registry = obs.metrics()
         if registry.enabled:
             registry.inc("edge.fleet.steps")
@@ -294,6 +341,154 @@ class FleetTracker:
             removed=len(removed),
             area_evaluations=evaluations,
             anomaly_probability=self.anomaly_probability(session_id),
+            removed_signals=removed,
+        )
+
+    # -- fused slice-major stepping ------------------------------------
+
+    def _prepare_query(self, data: np.ndarray) -> tuple[np.ndarray, float]:
+        """Normalise one frame and compute its worst-case (flat) area."""
+        if self.config.reference_rms is not None:
+            query = normalized_query(data, self.config.reference_rms)
+            return query, float(np.abs(query).sum())
+        return np.ascontiguousarray(data), float("inf")
+
+    def _step_fused(
+        self, queries: Mapping[str, np.ndarray]
+    ) -> dict[str, TrackingStep]:
+        """Slice-major megabatch step: plan → fused evaluate → commit.
+
+        Planning walks sessions in submission order and groups every
+        (session, candidate) pair by the *identity* of its shared cache
+        entry, so two sessions tracking the same MDB slice land in the
+        same group and are answered by one kernel call.  Evaluation runs
+        one :func:`abs_diff_rect_sums` per group — all state mutation is
+        deferred to the commit phase, so a slice being evicted as a
+        result of this step can never invalidate a tensor another group
+        still has to read.  Commit then replays each session in the
+        exact order (and with the exact arithmetic) of
+        :meth:`_step_session`.
+        """
+        started = time.perf_counter()
+        # -- plan ------------------------------------------------------
+        prepared = {
+            session_id: self._prepare_query(data)
+            for session_id, data in queries.items()
+        }
+        groups: dict[int, _SliceGroup] = {}
+        # Per session: one slot per candidate — (group, row index) for
+        # evaluable candidates, None for slices shorter than a frame.
+        slots: dict[str, list[tuple[_SliceGroup, int] | None]] = {}
+        for session_id in queries:
+            session = self._sessions[session_id]
+            query, worst = prepared[session_id]
+            rows: list[tuple[_SliceGroup, int] | None] = []
+            for entry in session.entries:
+                if entry.windows is None:
+                    rows.append(None)
+                    continue
+                group = groups.get(id(entry))
+                if group is None:
+                    group = _SliceGroup(windows=entry.windows)
+                    groups[id(entry)] = group
+                group.queries.append(query)
+                group.worsts.append(worst)
+                rows.append((group, len(group.queries) - 1))
+            slots[session_id] = rows
+
+        # -- fused evaluate --------------------------------------------
+        threads = kernel_threads() if kernel_backend() == "c" else 1
+        for group in groups.values():
+            stacked = np.stack(group.queries)
+            areas = abs_diff_rect_sums(
+                group.windows.windows, stacked, threads=threads
+            )
+            flat = group.windows.flat
+            if flat.any():
+                # Same override `_step_session` applies per pair, as one
+                # broadcast assignment: each pair's own worst-case area.
+                areas[:, flat] = np.asarray(group.worsts)[:, None]
+            # np.argmin along the offset axis keeps the sequential
+            # path's first-index tie-break per pair.
+            best = np.argmin(areas, axis=1)
+            group.best = best.tolist()
+            group.best_areas = areas[np.arange(areas.shape[0]), best].tolist()
+
+        # -- per-session commit, in submission order -------------------
+        steps = {
+            session_id: self._commit_session(session_id, slots[session_id])
+            for session_id in queries
+        }
+
+        self.last_fused_groups = len(groups)
+        self.last_fused_pairs = sum(len(g.queries) for g in groups.values())
+        self.last_fused_max_group = max(
+            (len(g.queries) for g in groups.values()), default=0
+        )
+        self.last_fused_step_s = time.perf_counter() - started
+        registry = obs.metrics()
+        if registry.enabled:
+            registry.observe("edge.fleet.fused_step_s", self.last_fused_step_s)
+            registry.observe("edge.fleet.fused_groups", len(groups))
+            for group in groups.values():
+                registry.observe(
+                    "edge.fleet.fused_queries_per_group", len(group.queries)
+                )
+            registry.set_gauge("edge.fleet.fused_kernel_threads", threads)
+        return steps
+
+    def _commit_session(
+        self,
+        session_id: str,
+        rows: Sequence[tuple[_SliceGroup, int] | None],
+    ) -> TrackingStep:
+        """Apply one session's fused results, mirroring `_step_session`."""
+        session = self._sessions[session_id]
+        session.iteration += 1
+        tracked_before = len(session.signals)
+        survivors: list[TrackedSignal] = []
+        surviving_entries: list[_CacheEntry] = []
+        removed: list[TrackedSignal] = []
+        to_release: list[_CacheEntry] = []
+        evaluations = 0
+        for signal, entry, slot in zip(session.signals, session.entries, rows):
+            if slot is None:
+                # Slice too short for even one comparison window.
+                signal.last_area = float("inf")
+                removed.append(signal)
+                to_release.append(entry)
+                continue
+            group, index = slot
+            assert group.best is not None and group.best_areas is not None
+            evaluations += group.windows.n_offsets
+            signal.last_area = group.best_areas[index]
+            if signal.last_area > self.config.area_threshold:
+                removed.append(signal)
+                to_release.append(entry)
+            else:
+                signal.offset = group.best[index] * self.config.offset_stride
+                survivors.append(signal)
+                surviving_entries.append(entry)
+        # Commit the survivor set before releasing: the session never
+        # holds entries it no longer owns, even if a release faults.
+        session.signals = survivors
+        session.entries = surviving_entries
+        for entry in to_release:
+            self._release(entry)
+        # Same Eq. 5 value ``anomaly_probability(session_id)`` returns,
+        # computed over the just-committed survivor list directly.
+        if survivors:
+            probability = sum(1 for s in survivors if s.anomalous) / len(
+                survivors
+            )
+        else:
+            probability = 0.0
+        return TrackingStep(
+            iteration=session.iteration,
+            tracked_before=tracked_before,
+            removed=len(removed),
+            area_evaluations=evaluations,
+            anomaly_probability=probability,
             removed_signals=removed,
         )
 

@@ -40,7 +40,7 @@ from typing import Sequence
 import numpy as np
 
 from repro import obs
-from repro.edge._kernels import abs_diff_row_sums, kernel_backend
+from repro.edge._kernels import abs_diff_rect_sums, kernel_backend, kernel_threads
 from repro.edge.tracker import EngineStep, TrackedSignal, TrackerConfig
 from repro.signals.metrics import (
     normalized_query,
@@ -149,6 +149,11 @@ class TrackingPlane:
         """Reduction backend in use: ``"c"`` (fused) or ``"numpy"``."""
         return kernel_backend()
 
+    @property
+    def kernel_threads(self) -> int:
+        """Worker threads the step reduction fans out over (1 = serial)."""
+        return kernel_threads() if kernel_backend() == "c" else 1
+
     # -- engine seam ---------------------------------------------------
 
     def load(self, signals: Sequence[TrackedSignal]) -> None:
@@ -210,11 +215,14 @@ class TrackingPlane:
         best_areas: np.ndarray | None = None
         if bool(evaluable.any()):
             # One fused pass over the whole compiled tensor (dead rows
-            # included — compaction keeps that waste bounded).
-            abs_diff_row_sums(
+            # included — compaction keeps that waste bounded), spread
+            # over the kernel thread pool: each (row, query) cell is
+            # independent, so the result is thread-count-invariant.
+            abs_diff_rect_sums(
                 self._tensor.reshape(-1, self._tensor.shape[2]),
-                query,
-                out=self._areas.reshape(-1),
+                query.reshape(1, -1),
+                out=self._areas.reshape(1, -1),
+                threads=self.kernel_threads,
             )
             areas = self._areas
             areas[self._flat] = worst

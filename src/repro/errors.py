@@ -73,6 +73,10 @@ class TrackingError(EMAPError):
     """The edge signal-tracking stage failed."""
 
 
+class KernelError(TrackingError):
+    """The compiled edge kernel could not honour a forced selection."""
+
+
 class NetworkError(EMAPError):
     """A network-model computation failed (unknown platform, bad payload)."""
 

@@ -8,6 +8,7 @@ resilience (deadline, retry, circuit breaker) and admission control.
 """
 
 from repro.gateway.fleet import (
+    EdgeStepDriver,
     FleetConfig,
     FleetReport,
     TenantSummary,
@@ -18,6 +19,7 @@ from repro.gateway.gateway import GatewayConfig, ServingGateway
 from repro.gateway.soak import SoakConfig, SoakReport, run_soak
 
 __all__ = [
+    "EdgeStepDriver",
     "FleetConfig",
     "FleetReport",
     "GatewayConfig",

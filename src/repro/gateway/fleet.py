@@ -16,24 +16,38 @@ milliseconds-to-seconds.  The **wall** clock measures real end-to-end
 request latency through the gateway (queueing + batching + search),
 which is what the ``gateway.request_latency_s`` histogram and the
 report's p50/p95/p99 summarise.
+
+With ``edge_steps_per_request > 0`` the simulator also exercises the
+edge leg: after each successful search a session adopts the result
+into a shared :class:`~repro.edge.fleet.FleetTracker` and runs that
+many tracking iterations.  Concurrent sessions' frames are coalesced
+by :class:`EdgeStepDriver` into single fused fleet steps (the
+slice-major megabatch path), run on a dedicated worker thread so the
+event loop never blocks on the kernel.
 """
 
 from __future__ import annotations
 
 import asyncio
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Mapping, Sequence
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence, TypeVar
 
 import numpy as np
 
-from repro.errors import GatewayError
+from repro.edge.fleet import FleetTracker
+from repro.edge.tracker import TrackerConfig, TrackingStep
+from repro.errors import EMAPError, GatewayError
 from repro.gateway.gateway import GatewayConfig, ServingGateway
 
 if TYPE_CHECKING:
+    from repro.cloud.results import SearchResult
     from repro.cloud.server import CloudServer
     from repro.faults.plan import FaultPlan
     from repro.signals.types import SignalSlice
+
+_T = TypeVar("_T")
 
 
 @dataclass(frozen=True)
@@ -54,6 +68,9 @@ class FleetConfig:
     admission_backoff_s: float = 0.25
     #: Wall seconds per simulated second (0 = as fast as possible).
     time_scale: float = 0.0
+    #: Edge tracking iterations a session runs after each successful
+    #: search (0 = cloud-only simulation, the historical behaviour).
+    edge_steps_per_request: int = 0
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -79,6 +96,11 @@ class FleetConfig:
             )
         if self.admission_backoff_s < 0 or self.time_scale < 0:
             raise GatewayError("fleet times must be non-negative")
+        if self.edge_steps_per_request < 0:
+            raise GatewayError(
+                "edge steps per request must be non-negative, got "
+                f"{self.edge_steps_per_request}"
+            )
 
 
 @dataclass
@@ -116,6 +138,12 @@ class FleetReport:
     queue_high_water: int
     pending_at_end: int
     per_tenant: dict[str, TenantSummary] = field(default_factory=dict)
+    #: Edge leg (zeros when ``edge_steps_per_request == 0``).
+    edge_steps: int = 0
+    edge_evaluations: int = 0
+    edge_fused_steps: int = 0
+    edge_mean_fused_batch: float = 0.0
+    edge_dedup_ratio: float = 1.0
 
     @property
     def throughput_rps(self) -> float:
@@ -140,8 +168,18 @@ class FleetReport:
             f"(mean size {self.mean_batch_size:.1f}), "
             f"queue high-water {self.queue_high_water}, "
             f"pending at end {self.pending_at_end}",
-            "per tenant (requests ok/failed/rejected, dropped sessions):",
         ]
+        if self.edge_steps:
+            lines.append(
+                f"edge: {self.edge_steps} session steps in "
+                f"{self.edge_fused_steps} fused fleet steps "
+                f"(mean batch {self.edge_mean_fused_batch:.1f}), "
+                f"{self.edge_evaluations} area evaluations, "
+                f"dedup ratio {self.edge_dedup_ratio:.1f}"
+            )
+        lines.append(
+            "per tenant (requests ok/failed/rejected, dropped sessions):"
+        )
         for name in sorted(self.per_tenant):
             tenant = self.per_tenant[name]
             lines.append(
@@ -159,6 +197,121 @@ class _SessionResult:
     failures: int = 0
     rejected: int = 0
     dropped: bool = False
+    edge_steps: int = 0
+    edge_evaluations: int = 0
+
+
+class EdgeStepDriver:
+    """Coalesces concurrent sessions' edge frames into fused fleet steps.
+
+    Async front door to one (non-thread-safe) shared
+    :class:`~repro.edge.fleet.FleetTracker`: every tracker interaction —
+    adopt, step, close — runs on a dedicated single worker thread, which
+    both serialises access and keeps the event loop off the kernel's
+    critical path (the C kernel releases the GIL and threads
+    internally).  Frames submitted while a fused step is running pile up
+    in ``_pending``; the stepper drains them as the *next* fused
+    :meth:`FleetTracker.step` — so the batch size adapts to load exactly
+    like the gateway's cloud-side coalescing.
+    """
+
+    def __init__(self, config: TrackerConfig | None = None) -> None:
+        self.tracker = FleetTracker(config)
+        self._pending: dict[
+            str, tuple[np.ndarray, asyncio.Future[TrackingStep]]
+        ] = {}
+        self._wake: asyncio.Event | None = None
+        self._stepper: asyncio.Task[None] | None = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="edge-step"
+        )
+        self._closed = False
+        self.fused_steps = 0
+        self.frames_stepped = 0
+        #: Highest references-per-slice ratio seen across fused steps
+        #: (sessions close at end, so the final ratio is trivially 1).
+        self.max_dedup_ratio = 1.0
+
+    async def adopt(self, session_id: str, result: SearchResult) -> None:
+        """(Re)open ``session_id`` with a fresh correlation set."""
+        await self._run(self.tracker.open_session, session_id, result)
+
+    async def close_session(self, session_id: str) -> None:
+        await self._run(self.tracker.close_session, session_id)
+
+    async def step(self, session_id: str, frame: np.ndarray) -> TrackingStep:
+        """One tracking iteration, riding the next fused fleet step."""
+        if self._closed:
+            raise GatewayError("edge driver is closed; create a new one")
+        if session_id in self._pending:
+            raise GatewayError(
+                f"session {session_id!r} already has a frame in flight"
+            )
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future[TrackingStep] = loop.create_future()
+        self._pending[session_id] = (np.asarray(frame, dtype=np.float64), future)
+        if self._wake is None:
+            self._wake = asyncio.Event()
+        self._wake.set()
+        if self._stepper is None or self._stepper.done():
+            self._stepper = loop.create_task(self._step_loop())
+        return await future
+
+    async def aclose(self) -> None:
+        """Stop the stepper and the worker thread; fail pending frames."""
+        self._closed = True
+        task = self._stepper
+        self._stepper = None
+        if task is not None:
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        failure = GatewayError("edge driver closed with frames in flight")
+        for _, future in self._pending.values():
+            if not future.done():
+                future.set_exception(failure)
+        self._pending.clear()
+        self._executor.shutdown(wait=True)
+
+    async def _run(self, fn: Callable[..., _T], *args: object) -> _T:
+        """Run one tracker call on the serialising worker thread."""
+        return await asyncio.get_running_loop().run_in_executor(
+            self._executor, fn, *args
+        )
+
+    async def _step_loop(self) -> None:
+        wake = self._wake
+        if wake is None:  # pragma: no cover - step() sets it first
+            raise GatewayError("edge stepper started without a wake event")
+        while True:
+            await wake.wait()
+            # One yield lets same-tick submitters join this fused step.
+            await asyncio.sleep(0)
+            wake.clear()
+            while self._pending:
+                batch = self._pending
+                self._pending = {}
+                frames = {sid: frame for sid, (frame, _) in batch.items()}
+                try:
+                    steps = await self._run(self.tracker.step, frames)
+                except EMAPError as error:
+                    for _, future in batch.values():
+                        if not future.done():
+                            future.set_exception(error)
+                    continue
+                self.fused_steps += 1
+                self.frames_stepped += len(batch)
+                self.max_dedup_ratio = max(
+                    self.max_dedup_ratio, self.tracker.dedup_ratio
+                )
+                for sid, (_, future) in batch.items():
+                    if not future.done():
+                        future.set_result(steps[sid])
+                # Yield so resolved sessions run (and may re-enqueue the
+                # next frame) before this loop drains again.
+                await asyncio.sleep(0)
 
 
 def build_frame_pool(
@@ -205,10 +358,13 @@ async def _run_session(
     frames: Sequence[np.ndarray],
     index: int,
     latencies: list[float],
+    edge: EdgeStepDriver | None = None,
 ) -> _SessionResult:
     rng = np.random.default_rng(np.random.SeedSequence((config.seed, index)))
     tenant = f"tenant-{index % config.n_tenants}"
     session = _SessionResult(tenant=tenant)
+    session_id = f"session-{index}"
+    edge_opened = False
     arrival = float(rng.uniform(0.0, config.arrival_horizon_s))
     n_requests = 1 + int(
         rng.poisson(max(0.0, config.mean_requests_per_session - 1.0))
@@ -216,33 +372,48 @@ async def _run_session(
     now_s = arrival
     await _sleep_scaled(arrival, config.time_scale)
     loop = asyncio.get_running_loop()
-    for _ in range(n_requests):
-        frame = frames[int(rng.integers(len(frames)))]
-        admitted = False
-        for _ in range(config.admission_retries + 1):
-            started = loop.time()
-            outcome = await gateway.submit(tenant, frame, now_s)
-            if outcome.failure == "rejected":
-                session.rejected += 1
-                now_s += config.admission_backoff_s
-                await _sleep_scaled(
-                    config.admission_backoff_s, config.time_scale
-                )
-                continue
-            admitted = True
-            latencies.append(loop.time() - started)
-            session.requests += 1
-            if outcome.ok:
-                session.successes += 1
-            else:
-                session.failures += 1
-            now_s += outcome.penalty_s
-            break
-        if not admitted:
-            session.dropped = True
-            break
-        now_s += config.think_time_s
-        await _sleep_scaled(config.think_time_s, config.time_scale)
+    try:
+        for _ in range(n_requests):
+            frame = frames[int(rng.integers(len(frames)))]
+            admitted = False
+            for _ in range(config.admission_retries + 1):
+                started = loop.time()
+                outcome = await gateway.submit(tenant, frame, now_s)
+                if outcome.failure == "rejected":
+                    session.rejected += 1
+                    now_s += config.admission_backoff_s
+                    await _sleep_scaled(
+                        config.admission_backoff_s, config.time_scale
+                    )
+                    continue
+                admitted = True
+                latencies.append(loop.time() - started)
+                session.requests += 1
+                if outcome.ok:
+                    session.successes += 1
+                else:
+                    session.failures += 1
+                now_s += outcome.penalty_s
+                break
+            if not admitted:
+                session.dropped = True
+                break
+            if edge is not None and outcome.ok and outcome.result is not None:
+                # The edge leg: adopt the fresh correlation set, then run
+                # the configured tracking iterations — each riding a
+                # fused fleet step shared with concurrent sessions.
+                await edge.adopt(session_id, outcome.result)
+                edge_opened = True
+                for _ in range(config.edge_steps_per_request):
+                    edge_frame = frames[int(rng.integers(len(frames)))]
+                    step = await edge.step(session_id, edge_frame)
+                    session.edge_steps += 1
+                    session.edge_evaluations += step.area_evaluations
+            now_s += config.think_time_s
+            await _sleep_scaled(config.think_time_s, config.time_scale)
+    finally:
+        if edge is not None and edge_opened:
+            await edge.close_session(session_id)
     return session
 
 
@@ -254,18 +425,25 @@ async def _run_fleet_async(
     tenant_plans: Mapping[str, FaultPlan] | None,
 ) -> FleetReport:
     gateway = ServingGateway(server, gateway_config, tenant_plans)
+    edge: EdgeStepDriver | None = None
+    if config.edge_steps_per_request > 0:
+        edge = EdgeStepDriver(
+            TrackerConfig(frame_samples=int(frames[0].size))
+        )
     latencies: list[float] = []
     started = time.perf_counter()
     try:
         sessions = await asyncio.gather(
             *(
-                _run_session(gateway, config, frames, index, latencies)
+                _run_session(gateway, config, frames, index, latencies, edge)
                 for index in range(config.n_sessions)
             )
         )
     finally:
         pending_at_end = gateway.pending
         await gateway.aclose()
+        if edge is not None:
+            await edge.aclose()
     elapsed = time.perf_counter() - started
 
     per_tenant: dict[str, TenantSummary] = {}
@@ -301,6 +479,17 @@ async def _run_fleet_async(
         queue_high_water=gateway.queue_high_water,
         pending_at_end=pending_at_end,
         per_tenant=per_tenant,
+        edge_steps=sum(s.edge_steps for s in sessions),
+        edge_evaluations=sum(s.edge_evaluations for s in sessions),
+        edge_fused_steps=edge.fused_steps if edge is not None else 0,
+        edge_mean_fused_batch=(
+            edge.frames_stepped / edge.fused_steps
+            if edge is not None and edge.fused_steps
+            else 0.0
+        ),
+        edge_dedup_ratio=(
+            edge.max_dedup_ratio if edge is not None else 1.0
+        ),
     )
 
 

@@ -14,7 +14,10 @@ into exactly one tenant, and checks hard invariants on the outcome —
 * **bounded queues** — the queue high-water mark stays under its
   budget and the gateway drains to zero pending at the end;
 * **latency budget** — wall-clock p99 end-to-end latency stays under
-  the configured ceiling.
+  the configured ceiling;
+* **edge completeness** — when the fleet runs the edge leg
+  (``edge_steps_per_request > 0``), every successful search is followed
+  by exactly the configured number of fused tracking iterations.
 
 Any breach lands in :attr:`SoakReport.violations`; CI fails on a
 non-empty list.
@@ -199,4 +202,16 @@ def run_soak(config: SoakConfig | None = None) -> SoakReport:
             f"p99 latency {fleet.latency_p99_s:.3f}s exceeded budget "
             f"{config.max_p99_latency_s:.3f}s"
         )
+    steps_per_request = config.fleet.edge_steps_per_request
+    if steps_per_request > 0:
+        # Every successful search must have been followed by exactly
+        # the configured number of fused tracking iterations — a lost
+        # frame here means the edge stepper dropped a rider.
+        expected = fleet.successes * steps_per_request
+        if fleet.edge_steps != expected:
+            violations.append(
+                f"edge leg ran {fleet.edge_steps} tracking steps, "
+                f"expected {expected} "
+                f"({fleet.successes} successes x {steps_per_request})"
+            )
     return SoakReport(fleet=fleet, violations=violations)

@@ -105,6 +105,10 @@ METRIC_NAMES: dict[str, str] = {
     "edge.fleet.unique_slices": "gauge",
     "edge.fleet.tracked_references": "gauge",
     "edge.fleet.compiled_bytes": "gauge",
+    "edge.fleet.fused_step_s": "histogram",
+    "edge.fleet.fused_groups": "histogram",
+    "edge.fleet.fused_queries_per_group": "histogram",
+    "edge.fleet.fused_kernel_threads": "gauge",
     # -- edge device + predictor --------------------------------------
     "edge.device.frames_acquired": "counter",
     "edge.device.cloud_calls": "counter",

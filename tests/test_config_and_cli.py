@@ -93,6 +93,31 @@ class TestCLI:
         assert "latency p50/p95/p99" in output
         assert "gateway.requests" in output  # --obs appends the metrics
 
+    def test_serve_fleet_with_edge_steps(self, capsys):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--sessions",
+                    "8",
+                    "--tenants",
+                    "2",
+                    "--mdb-scale",
+                    "0.05",
+                    "--frames",
+                    "6",
+                    "--edge-steps",
+                    "2",
+                    "--obs",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "edge:" in output  # the report grows the edge-leg line
+        assert "fused fleet step" in output
+        assert "edge.fleet.fused_step_s" in output  # --obs metrics
+
     def test_serve_soak_exit_codes(self, capsys):
         args = [
             "serve",

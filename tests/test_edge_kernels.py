@@ -1,0 +1,257 @@
+"""Tests for the fused area-reduction kernels behind the edge planes.
+
+Covers the multi-query rectangle kernel's bit-identity contract (every
+cell equal to ``np.abs(rows - q).sum(axis=1)`` on every backend and at
+every thread count), input validation, the numpy fallback's per-shape
+scratch reuse, the ``EMAP_KERNEL`` / ``EMAP_KERNEL_THREADS`` overrides
+(including the forced-``c``-must-not-degrade error path), and the
+cross-process ``.so`` cache keyed by the C source hash.
+
+Backend selection is process-global state; every test here runs under
+a fixture that snapshots and restores it, so forcing backends or
+pointing the cache at a tmpdir cannot leak into other tests.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.edge import _kernels
+from repro.edge._kernels import (
+    _numpy_rect_sums,
+    _reset_backend_selection,
+    _scratch,
+    _source_digest,
+    abs_diff_rect_sums,
+    abs_diff_row_sums,
+    kernel_backend,
+    kernel_threads,
+)
+from repro.errors import KernelError
+
+HAS_COMPILER = any(shutil.which(name) for name in ("cc", "gcc", "clang"))
+
+
+@pytest.fixture(autouse=True)
+def restore_backend_selection():
+    """Snapshot the lazily-selected backend and restore it afterwards."""
+    saved = (
+        _kernels._backend,
+        _kernels._c_row_kernel,
+        _kernels._c_rect_kernel,
+    )
+    yield
+    (
+        _kernels._backend,
+        _kernels._c_row_kernel,
+        _kernels._c_rect_kernel,
+    ) = saved
+
+
+def _rect_reference(rows: np.ndarray, queries: np.ndarray) -> np.ndarray:
+    return np.stack([np.abs(rows - q).sum(axis=1) for q in queries])
+
+
+class TestRectKernel:
+    @pytest.mark.parametrize("m", [1, 7, 64, 131, 256, 1000])
+    @pytest.mark.parametrize("threads", [1, 2, 3, 7])
+    def test_bitwise_equals_numpy_at_every_thread_count(self, m, threads):
+        rng = np.random.default_rng(m * 31 + threads)
+        rows = np.ascontiguousarray(rng.standard_normal((11, m)) * 1e3)
+        queries = np.ascontiguousarray(rng.standard_normal((5, m)) * 1e2)
+        produced = abs_diff_rect_sums(rows, queries, threads=threads)
+        np.testing.assert_array_equal(produced, _rect_reference(rows, queries))
+
+    def test_cells_match_single_query_kernel(self):
+        """Each rectangle row is exactly the single-query reduction."""
+        rng = np.random.default_rng(9)
+        rows = np.ascontiguousarray(rng.standard_normal((13, 300)))
+        queries = np.ascontiguousarray(rng.standard_normal((4, 300)))
+        rect = abs_diff_rect_sums(rows, queries)
+        for index in range(queries.shape[0]):
+            np.testing.assert_array_equal(
+                rect[index], abs_diff_row_sums(rows, queries[index])
+            )
+
+    def test_more_threads_than_cells_is_safe(self):
+        rng = np.random.default_rng(10)
+        rows = np.ascontiguousarray(rng.standard_normal((2, 40)))
+        queries = np.ascontiguousarray(rng.standard_normal((1, 40)))
+        produced = abs_diff_rect_sums(rows, queries, threads=64)
+        np.testing.assert_array_equal(produced, _rect_reference(rows, queries))
+
+    def test_numpy_fallback_bitwise_equals_numpy(self):
+        rng = np.random.default_rng(11)
+        rows = np.ascontiguousarray(rng.standard_normal((700, 131)))
+        queries = np.ascontiguousarray(rng.standard_normal((3, 131)))
+        out = np.empty((3, 700))
+        _numpy_rect_sums(rows, queries, out)
+        np.testing.assert_array_equal(out, _rect_reference(rows, queries))
+
+    def test_writes_into_out(self):
+        rng = np.random.default_rng(12)
+        rows = np.ascontiguousarray(rng.standard_normal((4, 32)))
+        queries = np.ascontiguousarray(rng.standard_normal((2, 32)))
+        out = np.empty((2, 4))
+        assert abs_diff_rect_sums(rows, queries, out=out) is out
+
+    def test_empty_rows_and_queries_ok(self):
+        assert abs_diff_rect_sums(np.empty((0, 16)), np.zeros((2, 16))).shape == (
+            2,
+            0,
+        )
+        assert abs_diff_rect_sums(np.zeros((3, 16)), np.empty((0, 16))).shape == (
+            0,
+            3,
+        )
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError, match="rows must be 2-D"):
+            abs_diff_rect_sums(np.zeros(8), np.zeros((1, 8)))
+        with pytest.raises(ValueError, match="queries must be 2-D"):
+            abs_diff_rect_sums(np.zeros((2, 8)), np.zeros(8))
+        with pytest.raises(ValueError, match="match row length"):
+            abs_diff_rect_sums(np.zeros((2, 8)), np.zeros((1, 4)))
+        with pytest.raises(ValueError, match="out of shape"):
+            abs_diff_rect_sums(
+                np.zeros((2, 8)), np.zeros((3, 8)), out=np.empty((2, 3))
+            )
+        with pytest.raises(ValueError, match="contiguous"):
+            abs_diff_rect_sums(np.zeros((4, 16))[:, ::2], np.zeros((1, 8)))
+        with pytest.raises(ValueError, match="float64"):
+            abs_diff_rect_sums(
+                np.zeros((2, 8), dtype=np.float32),
+                np.zeros((1, 8), dtype=np.float32),
+            )
+
+
+class TestFallbackScratchReuse:
+    def test_same_shape_reuses_the_buffer(self):
+        first = _scratch((37, 129))
+        second = _scratch((37, 129))
+        assert first is second  # no per-call allocation (the old leak)
+        assert _scratch((37, 130)) is not first
+
+    def test_scratch_is_thread_local(self):
+        import threading
+
+        main_buffer = _scratch((5, 5))
+        seen: list[np.ndarray] = []
+        worker = threading.Thread(target=lambda: seen.append(_scratch((5, 5))))
+        worker.start()
+        worker.join()
+        assert seen[0] is not main_buffer
+
+
+class TestBackendOverride:
+    def test_forced_numpy_wins_even_with_a_compiler(self, monkeypatch):
+        monkeypatch.setenv("EMAP_KERNEL", "numpy")
+        _reset_backend_selection()
+        assert kernel_backend() == "numpy"
+        rng = np.random.default_rng(13)
+        rows = np.ascontiguousarray(rng.standard_normal((6, 200)))
+        queries = np.ascontiguousarray(rng.standard_normal((2, 200)))
+        np.testing.assert_array_equal(
+            abs_diff_rect_sums(rows, queries), _rect_reference(rows, queries)
+        )
+
+    def test_invalid_override_rejected(self, monkeypatch):
+        monkeypatch.setenv("EMAP_KERNEL", "cuda")
+        _reset_backend_selection()
+        with pytest.raises(KernelError, match="EMAP_KERNEL must be"):
+            kernel_backend()
+
+    def test_forced_c_raises_when_kernel_unavailable(self, monkeypatch):
+        """A forced backend must never silently degrade to the fallback."""
+        monkeypatch.setenv("EMAP_KERNEL", "c")
+        monkeypatch.setattr(_kernels, "_load_c_kernels", lambda: None)
+        _reset_backend_selection()
+        with pytest.raises(KernelError, match="EMAP_KERNEL=c"):
+            kernel_backend()
+
+    def test_self_check_failure_falls_back_when_not_forced(self, monkeypatch):
+        monkeypatch.delenv("EMAP_KERNEL", raising=False)
+        monkeypatch.setattr(_kernels, "_passes_self_check", lambda kernels: False)
+        _reset_backend_selection()
+        assert kernel_backend() == "numpy"
+
+
+class TestKernelThreads:
+    def test_pinned_by_env(self, monkeypatch):
+        monkeypatch.setenv("EMAP_KERNEL_THREADS", "3")
+        assert kernel_threads() == 3
+
+    def test_clamped_to_bounds(self, monkeypatch):
+        monkeypatch.setenv("EMAP_KERNEL_THREADS", "0")
+        assert kernel_threads() == 1
+        monkeypatch.setenv("EMAP_KERNEL_THREADS", "4096")
+        assert kernel_threads() == 64
+
+    def test_default_is_cpu_count(self, monkeypatch):
+        monkeypatch.delenv("EMAP_KERNEL_THREADS", raising=False)
+        expected = max(1, min(os.cpu_count() or 1, 64))
+        assert kernel_threads() == expected
+
+    def test_garbage_rejected(self, monkeypatch):
+        monkeypatch.setenv("EMAP_KERNEL_THREADS", "many")
+        with pytest.raises(KernelError, match="EMAP_KERNEL_THREADS"):
+            kernel_threads()
+
+
+@pytest.mark.skipif(not HAS_COMPILER, reason="no C compiler on this host")
+class TestSharedLibraryCache:
+    def test_build_publishes_keyed_so_and_leaves_no_workdir(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.delenv("EMAP_KERNEL", raising=False)
+        monkeypatch.setenv("EMAP_KERNEL_CACHE", str(tmp_path / "cache"))
+        tmp = tmp_path / "tmp"
+        tmp.mkdir()
+        monkeypatch.setenv("TMPDIR", str(tmp))
+        import tempfile
+
+        tempfile.tempdir = None  # re-read TMPDIR
+        try:
+            _reset_backend_selection()
+            assert kernel_backend() == "c"
+        finally:
+            tempfile.tempdir = None
+        cached = tmp_path / "cache" / f"area-kernel-{_source_digest()}.so"
+        assert cached.exists()
+        # The mkdtemp build directory is removed (the historical leak).
+        assert not any(
+            entry.name.startswith("repro-area-kernel-")
+            for entry in tmp.iterdir()
+        )
+
+    def test_cache_hit_skips_the_compiler_entirely(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("EMAP_KERNEL", raising=False)
+        monkeypatch.setenv("EMAP_KERNEL_CACHE", str(tmp_path))
+        _reset_backend_selection()
+        assert kernel_backend() == "c"  # first selection populates the cache
+
+        def boom(workdir: str) -> str | None:
+            raise AssertionError("cache hit must not invoke the compiler")
+
+        monkeypatch.setattr(_kernels, "_compile_library", boom)
+        _reset_backend_selection()
+        assert kernel_backend() == "c"  # loaded from the cached .so
+        rng = np.random.default_rng(14)
+        rows = np.ascontiguousarray(rng.standard_normal((5, 300)))
+        queries = np.ascontiguousarray(rng.standard_normal((3, 300)))
+        np.testing.assert_array_equal(
+            abs_diff_rect_sums(rows, queries, threads=2),
+            _rect_reference(rows, queries),
+        )
+
+    def test_corrupt_cache_entry_triggers_rebuild(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("EMAP_KERNEL", raising=False)
+        monkeypatch.setenv("EMAP_KERNEL_CACHE", str(tmp_path))
+        cached = tmp_path / f"area-kernel-{_source_digest()}.so"
+        cached.write_bytes(b"not a shared library")
+        _reset_backend_selection()
+        assert kernel_backend() == "c"  # rebuilt past the corrupt entry

@@ -86,8 +86,8 @@ def _run_tracker(engine: str, matches, frames, **overrides):
     ]
 
 
-def _run_fleet(matches, frames, **overrides):
-    fleet = FleetTracker(TrackerConfig(**overrides))
+def _run_fleet(matches, frames, fused=True, **overrides):
+    fleet = FleetTracker(TrackerConfig(**overrides), fused=fused)
     fleet.open_session("s", matches)
     keys = []
     for frame in frames:
@@ -278,9 +278,11 @@ class TestEngineEquivalence:
         frames = _frames(seed, 6)
         scalar = _run_tracker("scalar", matches, frames, **overrides)
         plane = _run_tracker("plane", matches, frames, **overrides)
-        fleet = _run_fleet(matches, frames, **overrides)
+        fused = _run_fleet(matches, frames, fused=True, **overrides)
+        sequential = _run_fleet(matches, frames, fused=False, **overrides)
         assert plane == scalar
-        assert fleet == scalar
+        assert fused == scalar
+        assert sequential == scalar
 
     def test_survivor_tracking_near_threshold(self):
         """Steps where most candidates survive (self-similar frames)."""

@@ -44,11 +44,18 @@ SUPPRESSION_ALLOWLIST = {
 #: join the list because a swallowed exception in the coarse screen
 #: would silently degrade to wrong prune decisions instead of failing
 #: loudly — pruning bugs must never hide.
+#: The edge kernel and fleet planner join for the same reason: a
+#: swallowed exception in backend selection or the fused step would
+#: silently degrade to the slow fallback (or worse, commit a partial
+#: megabatch) instead of failing loudly — the failure modes the
+#: explicit ``KernelError`` / deferred-commit design exists to surface.
 EM006_NEVER_SUPPRESS = (
     "src/repro/faults/",
     "src/repro/cloud/client.py",
     "src/repro/cloud/coarse.py",
     "src/repro/cloud/search.py",
+    "src/repro/edge/_kernels.py",
+    "src/repro/edge/fleet.py",
     "src/repro/gateway/",
 )
 

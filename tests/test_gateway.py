@@ -19,10 +19,14 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cloud.client import BreakerState, ResilienceConfig
+from repro.cloud.results import SearchMatch
 from repro.cloud.server import CloudServer
-from repro.errors import GatewayError
+from repro.edge.fleet import FleetTracker
+from repro.edge.tracker import TrackerConfig
+from repro.errors import GatewayError, TrackingError
 from repro.faults.plan import FaultKind, FaultPlan
 from repro.gateway import (
+    EdgeStepDriver,
     FleetConfig,
     GatewayConfig,
     ServingGateway,
@@ -381,3 +385,176 @@ class TestFleet:
             )
 
         assert counts() == counts()
+
+
+def _edge_matches(seed: int, n: int = 6) -> list[SearchMatch]:
+    return [
+        SearchMatch(sig_slice=sig_slice, omega=0.9, offset=0)
+        for sig_slice in _random_slices(seed, n=n)
+    ]
+
+
+def _edge_step_key(step, tracked):
+    return (
+        step.iteration,
+        step.tracked_before,
+        step.removed,
+        step.area_evaluations,
+        step.anomaly_probability,
+        tuple((s.sig_slice.slice_id, s.last_area, s.offset) for s in tracked),
+    )
+
+
+class TestEdgeStepDriver:
+    """The async front door coalescing sessions into fused fleet steps."""
+
+    def test_config_rejects_negative_edge_steps(self):
+        with pytest.raises(GatewayError):
+            FleetConfig(edge_steps_per_request=-1)
+
+    def test_coalesced_steps_match_direct_fleet(self):
+        matches = _edge_matches(30)
+        config = TrackerConfig(area_threshold=1e9)
+        rng = np.random.default_rng(30)
+        frames = {f"s{i}": rng.standard_normal(256) for i in range(6)}
+
+        async def scenario():
+            driver = EdgeStepDriver(config)
+            for session_id in frames:
+                await driver.adopt(session_id, matches)
+            steps = dict(
+                zip(
+                    frames,
+                    await asyncio.gather(
+                        *(
+                            driver.step(session_id, frame)
+                            for session_id, frame in frames.items()
+                        )
+                    ),
+                )
+            )
+            tracked = {
+                session_id: driver.tracker.tracked(session_id)
+                for session_id in frames
+            }
+            stats = (
+                driver.fused_steps,
+                driver.frames_stepped,
+                driver.max_dedup_ratio,
+            )
+            await driver.aclose()
+            return steps, tracked, stats
+
+        steps, tracked, (fused_steps, frames_stepped, dedup) = asyncio.run(
+            scenario()
+        )
+        # Concurrent same-tick submissions must share fused steps.
+        assert frames_stepped == len(frames)
+        assert 1 <= fused_steps < len(frames)
+        # 6 sessions all tracking the same 6 slices: dedup ratio 6.
+        assert dedup == pytest.approx(6.0)
+        direct = FleetTracker(config)
+        for session_id in frames:
+            direct.open_session(session_id, matches)
+        expected = direct.step(frames)
+        for session_id in frames:
+            assert _edge_step_key(
+                steps[session_id], tracked[session_id]
+            ) == _edge_step_key(
+                expected[session_id], direct.tracked(session_id)
+            )
+
+    def test_duplicate_inflight_frame_and_closed_driver_rejected(self):
+        matches = _edge_matches(31, n=3)
+
+        async def scenario():
+            driver = EdgeStepDriver(TrackerConfig(area_threshold=1e9))
+            await driver.adopt("s", matches)
+            frame = np.zeros(256)
+            first = asyncio.ensure_future(driver.step("s", frame))
+            await asyncio.sleep(0)  # frame parked; fused step not yet run
+            with pytest.raises(GatewayError, match="in flight"):
+                await driver.step("s", frame)
+            step = await first  # the parked frame still completes
+            assert step.iteration == 1
+            await driver.aclose()
+            with pytest.raises(GatewayError, match="closed"):
+                await driver.step("s", frame)
+
+        asyncio.run(scenario())
+
+    def test_aclose_fails_parked_frames(self):
+        matches = _edge_matches(32, n=3)
+
+        async def scenario():
+            driver = EdgeStepDriver(TrackerConfig(area_threshold=1e9))
+            await driver.adopt("s", matches)
+            parked = asyncio.ensure_future(driver.step("s", np.zeros(256)))
+            await asyncio.sleep(0)
+            await driver.aclose()
+            with pytest.raises(GatewayError, match="in flight"):
+                await parked
+
+        asyncio.run(scenario())
+
+    def test_tracker_error_fails_the_whole_batch_and_driver_survives(self):
+        matches = _edge_matches(33, n=3)
+
+        async def scenario():
+            driver = EdgeStepDriver(TrackerConfig(area_threshold=1e9))
+            await driver.adopt("a", matches)
+            results = await asyncio.gather(
+                driver.step("a", np.zeros(256)),
+                driver.step("ghost", np.zeros(256)),
+                return_exceptions=True,
+            )
+            # The fleet validates the batch up front, so both riders of
+            # the poisoned fused step fail together — and the driver
+            # keeps serving afterwards.
+            step = await driver.step("a", np.zeros(256))
+            await driver.aclose()
+            return results, step
+
+        results, step = asyncio.run(scenario())
+        assert all(isinstance(result, TrackingError) for result in results)
+        assert step.iteration == 1  # the failed batch never advanced "a"
+
+    def test_fleet_edge_leg_counts_and_report(self):
+        slices = _random_slices(34, n=10)
+        frames = build_frame_pool(slices, n_frames=6, seed=34)
+        server = CloudServer(slices)
+        try:
+            report = run_fleet(
+                server,
+                frames,
+                FleetConfig(
+                    n_sessions=16,
+                    n_tenants=2,
+                    seed=34,
+                    edge_steps_per_request=2,
+                ),
+            )
+        finally:
+            server.close()
+        assert report.successes > 0
+        # Edge completeness: every success ran exactly its edge steps.
+        assert report.edge_steps == report.successes * 2
+        assert report.edge_fused_steps >= 1
+        assert report.edge_mean_fused_batch >= 1.0
+        assert report.edge_evaluations > 0
+        assert report.edge_dedup_ratio >= 1.0
+        assert "edge:" in report.report()
+
+    def test_cloud_only_fleet_reports_no_edge_leg(self):
+        slices = _random_slices(35, n=8)
+        frames = build_frame_pool(slices, n_frames=4, seed=35)
+        server = CloudServer(slices)
+        try:
+            report = run_fleet(
+                server, frames, FleetConfig(n_sessions=8, n_tenants=2, seed=35)
+            )
+        finally:
+            server.close()
+        assert report.edge_steps == 0
+        assert report.edge_fused_steps == 0
+        assert "edge:" not in report.report()

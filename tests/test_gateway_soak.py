@@ -104,3 +104,45 @@ class TestFullSoak:
         assert report.fleet.sessions_completed == 200
         assert report.fleet.requests >= 200
         assert report.fleet.mean_batch_size > 1.0
+
+
+class TestEdgeCompletenessGate:
+    """The edge-leg soak gate: every success runs its tracking steps."""
+
+    def _edge_config(self) -> SoakConfig:
+        return SoakConfig(
+            mdb_scale=0.08,
+            fleet=FleetConfig(
+                n_sessions=24,
+                n_tenants=4,
+                mean_requests_per_session=2.0,
+                think_time_s=8.0,
+                arrival_horizon_s=20.0,
+                edge_steps_per_request=2,
+            ),
+            max_p99_latency_s=10.0,
+        )
+
+    def test_edge_enabled_soak_passes_and_counts_every_step(self):
+        report = run_soak(self._edge_config())
+        assert report.passed, report.report()
+        fleet = report.fleet
+        assert fleet.edge_steps == fleet.successes * 2
+        assert fleet.edge_fused_steps >= 1
+        assert fleet.edge_evaluations > 0
+
+    def test_lost_edge_frames_trip_the_gate(self, monkeypatch):
+        """A fused step that drops a rider must be a soak violation."""
+        import repro.gateway.soak as soak_module
+
+        real_run_fleet = soak_module.run_fleet
+
+        def lossy_run_fleet(*args, **kwargs):
+            report = real_run_fleet(*args, **kwargs)
+            report.edge_steps -= 1  # simulate one dropped rider
+            return report
+
+        monkeypatch.setattr(soak_module, "run_fleet", lossy_run_fleet)
+        report = run_soak(self._edge_config())
+        assert not report.passed
+        assert any("edge leg" in violation for violation in report.violations)
